@@ -1,0 +1,184 @@
+// Command totobench regenerates every table and figure of the paper's
+// evaluation from the reproduction, printing the same rows/series the
+// paper reports.
+//
+// Usage:
+//
+//	totobench -run all           # everything (default)
+//	totobench -run fig2          # one artifact
+//	totobench -run fig10,fig14   # a comma-separated subset
+//	totobench -days 2            # shorten the density-study window
+//
+// Artifact IDs: tab1 tab2 tab3 fig2 fig3a fig3b fig6 fig7 fig8 fig9
+// fig10 fig11 fig12a fig12b fig13 fig14, plus the DESIGN.md ablations:
+// abl-placement abl-persistence abl-refresh (not included in 'all').
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"toto/internal/bench"
+	"toto/internal/core"
+	"toto/internal/slo"
+)
+
+func main() {
+	runFlag := flag.String("run", "all", "comma-separated artifact IDs, or 'all'")
+	days := flag.Int("days", 6, "density-study measured window in days")
+	repeats := flag.Int("repeats", 3, "repeatability runs for fig13")
+	repeatHours := flag.Int("repeat-hours", 18, "repeatability run length in hours")
+	seed := flag.Uint64("seed", 0, "offset added to all default seeds (0 = paper defaults)")
+	flag.Parse()
+
+	want := map[string]bool{}
+	all := *runFlag == "all"
+	for _, id := range strings.Split(*runFlag, ",") {
+		want[strings.TrimSpace(id)] = true
+	}
+	sel := func(id string) bool { return all || want[id] }
+
+	seeds := bench.DefaultSeeds
+	seeds.Population += *seed
+	seeds.Models += *seed
+	seeds.PLB += *seed
+	seeds.Bootstrap += *seed
+
+	out := os.Stdout
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "totobench:", err)
+		os.Exit(1)
+	}
+
+	// Modeling artifacts (trace + trainer based).
+	needModels := sel("tab1") || sel("fig6") || sel("fig7") || sel("fig8") || sel("fig9")
+	var tm *core.TrainedModels
+	if needModels || sel("fig2") || sel("fig10") || sel("fig11") || sel("fig12a") ||
+		sel("fig12b") || sel("fig14") || sel("tab2") || sel("tab3") || sel("fig13") {
+		tm = core.DefaultModels()
+	}
+
+	if sel("fig3a") {
+		bench.RunFig3a(seeds.Models).Print(out)
+		fmt.Fprintln(out)
+	}
+	if sel("fig3b") {
+		bench.RunFig3b(seeds.Models, 4000).Print(out)
+		fmt.Fprintln(out)
+	}
+	if sel("fig6") {
+		bench.RunFig6(tm).Print(out)
+		fmt.Fprintln(out)
+	}
+	if sel("fig7") {
+		bench.RunFig7(tm).Print(out)
+		fmt.Fprintln(out)
+	}
+	if sel("fig8") {
+		f8, err := bench.RunFig8(tm, 100, seeds.Models)
+		if err != nil {
+			fail(err)
+		}
+		f8.Print(out)
+		fmt.Fprintln(out)
+	}
+	if sel("fig9") {
+		for _, e := range slo.Editions() {
+			f9, err := bench.RunFig9(tm, e, seeds.Models)
+			if err != nil {
+				fail(err)
+			}
+			f9.Print(out)
+			fmt.Fprintln(out)
+		}
+	}
+	if sel("tab1") {
+		bench.RunTab1(tm).Print(out)
+		fmt.Fprintln(out)
+	}
+
+	// Density-study artifacts.
+	if sel("fig2") || sel("fig10") || sel("fig11") || sel("fig12a") ||
+		sel("fig12b") || sel("fig14") || sel("tab2") || sel("tab3") {
+		cfg := bench.DefaultStudyConfig()
+		cfg.Days = *days
+		cfg.Seeds = seeds
+		study, err := bench.RunStudy(cfg)
+		if err != nil {
+			fail(err)
+		}
+		if sel("tab2") {
+			study.PrintTab2(out)
+			fmt.Fprintln(out)
+		}
+		if sel("tab3") {
+			study.PrintTab3(out)
+			fmt.Fprintln(out)
+		}
+		if sel("fig2") {
+			study.PrintFig2(out)
+			fmt.Fprintln(out)
+		}
+		if sel("fig10") {
+			study.PrintFig10(out, 6)
+			fmt.Fprintln(out)
+		}
+		if sel("fig11") {
+			study.PrintFig11(out)
+			fmt.Fprintln(out)
+		}
+		if sel("fig12a") {
+			study.PrintFig12a(out)
+			fmt.Fprintln(out)
+		}
+		if sel("fig12b") {
+			study.PrintFig12b(out)
+			fmt.Fprintln(out)
+		}
+		if sel("fig14") {
+			study.PrintFig14(out)
+			fmt.Fprintln(out)
+		}
+	}
+
+	if want["abl-placement"] {
+		a, err := bench.RunPlacementAblation(seeds)
+		if err != nil {
+			fail(err)
+		}
+		a.Print(out)
+		fmt.Fprintln(out)
+	}
+	if want["abl-persistence"] {
+		a, err := bench.RunPersistenceAblation(seeds)
+		if err != nil {
+			fail(err)
+		}
+		a.Print(out)
+		fmt.Fprintln(out)
+	}
+	if want["abl-refresh"] {
+		a, err := bench.RunRefreshAblation(seeds, []time.Duration{5 * time.Minute, 15 * time.Minute, time.Hour})
+		if err != nil {
+			fail(err)
+		}
+		a.Print(out)
+		fmt.Fprintln(out)
+	}
+
+	if sel("fig13") {
+		cfg := bench.DefaultRepeatabilityConfig()
+		cfg.Runs = *repeats
+		cfg.Hours = *repeatHours
+		cfg.Seeds = seeds
+		f13, err := bench.RunFig13(cfg)
+		if err != nil {
+			fail(err)
+		}
+		f13.Print(out)
+		fmt.Fprintln(out)
+	}
+}

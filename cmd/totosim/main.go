@@ -1,0 +1,129 @@
+// Command totosim runs one declaratively specified benchmark scenario —
+// the paper's "reliable and repeatable specification of a benchmarking
+// scenario of arbitrary scale, complexity, and time-length" (§1) — and
+// dumps its telemetry as CSV.
+//
+// Usage:
+//
+//	totosim                          # default 14-node 110% 2-day run
+//	totosim -scenario run.json       # declarative scenario file
+//	totosim -density 1.4 -days 6     # flag overrides
+//	totosim -out results/            # write samples/failovers/nodes CSVs
+//
+// Scenario file format (JSON; all fields optional):
+//
+//	{
+//	  "name": "densify-120",
+//	  "nodes": 14,
+//	  "density": 1.2,
+//	  "days": 6,
+//	  "bootstrapHours": 6,
+//	  "population": {"premiumBC": 33, "standardGP": 187},
+//	  "seeds": {"population": 101, "models": 202, "plb": 303, "bootstrap": 404},
+//	  "modelXML": "models.xml"
+//	}
+//
+// modelXML points at a file produced by tototrain (or edited by hand —
+// the XML is the declarative surface); without it the default trained
+// models are used.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"toto/internal/core"
+	"toto/internal/models"
+	"toto/internal/slo"
+	"toto/internal/telemetry"
+)
+
+func main() {
+	scenarioPath := flag.String("scenario", "", "JSON scenario file")
+	density := flag.Float64("density", 0, "override density factor")
+	days := flag.Float64("days", 0, "override measured window in days")
+	outDir := flag.String("out", "", "write telemetry CSVs to this directory")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "totosim:", err)
+		os.Exit(1)
+	}
+
+	spec := &core.ScenarioFile{}
+	if *scenarioPath != "" {
+		data, err := os.ReadFile(*scenarioPath)
+		if err != nil {
+			fail(err)
+		}
+		spec, err = core.ParseScenarioFile(data)
+		if err != nil {
+			fail(err)
+		}
+	}
+	if spec.Name == "" {
+		spec.Name = "totosim"
+	}
+	if *density != 0 {
+		spec.Density = *density
+	}
+	if *days != 0 {
+		spec.Days = *days
+	}
+
+	var set *models.ModelSet
+	if spec.ModelXML != "" {
+		data, err := os.ReadFile(spec.ModelXML)
+		if err != nil {
+			fail(err)
+		}
+		set, err = models.UnmarshalModelSetXML(data)
+		if err != nil {
+			fail(err)
+		}
+	} else {
+		set = core.DefaultModels().Set
+	}
+
+	sc := spec.Build(set)
+	res, err := core.Run(sc)
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("scenario %q: %d nodes, density %.0f%%, %.1f-day window\n",
+		sc.Name, sc.Nodes, sc.Density*100, sc.Duration.Hours()/24)
+	fmt.Printf("bootstrap: %d BC + %d GP databases, %.0f cores reserved (%.0f free), disk %.1f%%\n",
+		res.InitialCounts[slo.PremiumBC], res.InitialCounts[slo.StandardGP],
+		res.BootstrapReservedCores, res.BootstrapFreeCores, 100*res.BootstrapDiskUtil)
+	fmt.Printf("churn: %d creates, %d drops, %d redirects (first at hour %d)\n",
+		res.Creates, res.Drops, len(res.Redirects), res.FirstRedirectHour)
+	fmt.Printf("final: %.0f cores reserved, disk %.1f%%, %d failovers (%.0f cores moved)\n",
+		res.FinalReservedCores, 100*res.FinalDiskUtil, len(res.Failovers), res.TotalFailedOverCores())
+	fmt.Printf("revenue: gross $%.0f, penalty $%.0f, adjusted $%.0f (%d breached of %d DBs)\n",
+		res.Revenue.Gross, res.Revenue.Penalty, res.Revenue.Adjusted,
+		res.Revenue.Breached, res.Revenue.Databases)
+
+	if *outDir == "" {
+		return
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fail(err)
+	}
+	write := func(name string, fn func(f *os.File) error) {
+		f, err := os.Create(filepath.Join(*outDir, name))
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		if err := fn(f); err != nil {
+			fail(err)
+		}
+	}
+	write("samples.csv", func(f *os.File) error { return telemetry.WriteSamplesCSV(f, res.Samples) })
+	write("failovers.csv", func(f *os.File) error { return telemetry.WriteFailoversCSV(f, res.Failovers) })
+	write("nodes.csv", func(f *os.File) error { return telemetry.WriteNodeSamplesCSV(f, res.NodeSamples) })
+	fmt.Printf("telemetry written to %s\n", *outDir)
+}

@@ -1,0 +1,104 @@
+// Command tototrain runs the paper's §4 model-building pipeline over
+// synthetic production traces and emits the deployable model XML that
+// Toto writes into a cluster's Naming Service.
+//
+// Usage:
+//
+//	tototrain                     # train with the default seed, XML to stdout
+//	tototrain -seed 7 -o m.xml    # explicit seed, write to a file
+//	tototrain -validate           # also print the §4 validation report
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"toto/internal/bench"
+	"toto/internal/core"
+	"toto/internal/slo"
+	"toto/internal/trace"
+	"toto/internal/trainer"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 42, "training seed (drives trace generation and fitting)")
+	outPath := flag.String("o", "", "write the model XML to this file (default stdout)")
+	validate := flag.Bool("validate", false, "print the §4 validation report (K-S tests, Figure 8/9 checks)")
+	flag.Parse()
+
+	tm := core.TrainDefaultModels(*seed)
+
+	if *validate {
+		report(tm, *seed)
+	}
+
+	data, err := tm.Set.EncodeXML()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tototrain:", err)
+		os.Exit(1)
+	}
+	if *outPath == "" {
+		os.Stdout.Write(data)
+		fmt.Println()
+		return
+	}
+	if err := os.WriteFile(*outPath, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "tototrain:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "tototrain: wrote %d bytes of model XML to %s\n", len(data), *outPath)
+}
+
+// report prints the training diagnostics the paper's §4 walks through.
+func report(tm *core.TrainedModels, seed uint64) {
+	w := os.Stderr
+	fmt.Fprintf(w, "=== Toto model training report (seed %d) ===\n\n", seed)
+
+	fmt.Fprintf(w, "Training data: %d-day region trace (%d rings), %d disk traces over %d days\n\n",
+		tm.Region.Config.Days, tm.Region.Config.Rings, len(tm.DiskTraces), 14)
+
+	bench.RunFig7(tm).Print(w)
+	fmt.Fprintln(w)
+
+	f8, err := bench.RunFig8(tm, 100, seed)
+	if err == nil {
+		f8.Print(w)
+		fmt.Fprintln(w)
+	}
+
+	for _, e := range slo.Editions() {
+		dt := tm.Disk[e]
+		fmt.Fprintf(w, "%s disk training: %d DBs, steady share %.2f%%, %d initial-growth, %d rapid-growth\n",
+			e, dt.TotalDBs, 100*dt.SteadyFraction, len(dt.InitialDBs), len(dt.RapidDBs))
+		if dt.Model.Initial != nil {
+			fmt.Fprintf(w, "  initial growth: p=%.3f over %v, %d bins\n",
+				dt.Model.Initial.Probability, dt.Model.Initial.Duration, len(dt.Model.Initial.Bins))
+		}
+		if dt.Model.Rapid != nil {
+			fmt.Fprintf(w, "  rapid growth:   p=%.3f cycle=%v\n",
+				dt.Model.Rapid.Probability, dt.Model.Rapid.CycleDuration())
+		}
+		if f9, err := bench.RunFig9(tm, e, seed); err == nil {
+			fmt.Fprintf(w, "  cumulative fit: production %.1fGB vs model %.1fGB (RMSE %.2f)\n",
+				f9.ProdFinalGB, f9.ModelFinalGB, f9.RMSE)
+		}
+	}
+	// §5.5 extension: per-database lifetime model, trained from the
+	// per-database lifecycle stream.
+	lifeCfg := trace.DefaultLifetimeConfig(seed + 2)
+	events := trace.GenerateDBEvents(lifeCfg)
+	windowEnd := trace.Epoch.Add(time.Duration(lifeCfg.Days) * 24 * time.Hour)
+	for _, e := range slo.Editions() {
+		lt := trainer.TrainLifetime(events, e, windowEnd, 5)
+		if lt.Model == nil {
+			continue
+		}
+		fmt.Fprintf(w, "%s lifetime model: %.0f%% long-lived; %d observed lifetimes in %d bins (%.0fh..%.0fh)\n",
+			e, 100*lt.Model.LongLivedFraction, lt.Observed, len(lt.Model.Bins),
+			lt.Model.Bins[0].LoGB, lt.Model.Bins[len(lt.Model.Bins)-1].HiGB)
+	}
+	fmt.Fprintln(w)
+	_ = trainer.DefaultDiskTrainingOptions() // document: options are the paper's (20min deltas, 12GB/5min label, 5 bins)
+}

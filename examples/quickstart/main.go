@@ -1,0 +1,56 @@
+// Quickstart: the smallest complete Toto benchmark — train the behaviour
+// models from synthetic production traces, declare a scenario, run it,
+// and read the efficiency KPIs off the result.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"toto"
+)
+
+func main() {
+	// 1. Train the §4 behaviour models (create/drop hourly normals, disk
+	// growth models) from synthetic production telemetry. In a real
+	// deployment this consumes your service's own telemetry.
+	tm := toto.TrainDefaultModels(42)
+
+	// 2. Declare the benchmark: the paper's 14-node gen5 stage cluster at
+	// 110% density. Every random stream is explicitly seeded, so the run
+	// is exactly repeatable.
+	seeds := toto.Seeds{Population: 1, Models: 2, PLB: 3, Bootstrap: 4}
+	sc := toto.DefaultScenario("quickstart", 1.10, tm.Set, seeds)
+	sc.Duration = 24 * time.Hour // one measured day (the paper runs six)
+	sc.BootstrapDuration = 6 * time.Hour
+
+	// 3. Run: bootstrap the initial population with growth frozen, let
+	// the PLB place and balance it, then unfreeze and drive a day of
+	// modeled load and churn through the cluster.
+	res, err := toto.Run(sc)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. The efficiency KPIs the paper's evaluation reports.
+	fmt.Printf("initial population: %d Premium/BC + %d Standard/GP databases\n",
+		res.InitialCounts[toto.PremiumBC], res.InitialCounts[toto.StandardGP])
+	fmt.Printf("bootstrap:  %6.0f cores reserved, %5.0f free, disk %.1f%% of logical capacity\n",
+		res.BootstrapReservedCores, res.BootstrapFreeCores, 100*res.BootstrapDiskUtil)
+	fmt.Printf("churn:      %d creates, %d drops, %d creation redirects\n",
+		res.Creates, res.Drops, len(res.Redirects))
+	fmt.Printf("final:      %6.0f cores reserved (%.1f%% of 100%%-density capacity), disk %.1f%%\n",
+		res.FinalReservedCores, 100*res.FinalCoreUtil, 100*res.FinalDiskUtil)
+	fmt.Printf("QoS:        %d failovers moved %.0f customer cores\n",
+		len(res.Failovers), res.TotalFailedOverCores())
+	fmt.Printf("revenue:    gross $%.0f - penalty $%.0f = adjusted $%.0f\n",
+		res.Revenue.Gross, res.Revenue.Penalty, res.Revenue.Adjusted)
+
+	// The hourly telemetry series behind Figures 10-11 is on the result:
+	last := res.Samples[len(res.Samples)-1]
+	fmt.Printf("last sample: %s — %d live DBs, %.0f cores, %.0f GB disk\n",
+		last.Time.Format("Mon 15:04"), last.LiveDBs, last.ReservedCores, last.DiskUsageGB)
+}

@@ -1,0 +1,3 @@
+module toto
+
+go 1.22

@@ -1,0 +1,122 @@
+// Package asciichart renders the small terminal charts cmd/totobench
+// prints next to each figure's rows: sparklines for time series and
+// scatter grids for two-dimensional point clouds. The paper's artifacts
+// are line and scatter plots; a rough visual alongside the exact rows
+// makes shape comparisons immediate without leaving the terminal.
+package asciichart
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// sparks are the eight block glyphs a sparkline quantizes into.
+var sparks = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders xs as a single line of block glyphs scaled to the
+// series' own min..max range. An empty series renders empty; a constant
+// series renders mid-height blocks.
+func Sparkline(xs []float64) string {
+	if len(xs) == 0 {
+		return ""
+	}
+	lo, hi := xs[0], xs[0]
+	for _, x := range xs {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	var b strings.Builder
+	for _, x := range xs {
+		idx := len(sparks) / 2
+		if hi > lo {
+			idx = int((x - lo) / (hi - lo) * float64(len(sparks)-1))
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(sparks) {
+			idx = len(sparks) - 1
+		}
+		b.WriteRune(sparks[idx])
+	}
+	return b.String()
+}
+
+// SparklineN downsamples xs to at most n points (by bucket mean) before
+// rendering, so long hourly series fit a terminal row.
+func SparklineN(xs []float64, n int) string {
+	if n <= 0 || len(xs) <= n {
+		return Sparkline(xs)
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		lo := i * len(xs) / n
+		hi := (i + 1) * len(xs) / n
+		if hi <= lo {
+			hi = lo + 1
+		}
+		sum := 0.0
+		for _, v := range xs[lo:hi] {
+			sum += v
+		}
+		out[i] = sum / float64(hi-lo)
+	}
+	return Sparkline(out)
+}
+
+// Point is one (x, y) observation with a single-rune label.
+type Point struct {
+	X, Y  float64
+	Glyph rune
+}
+
+// Scatter renders points on a width x height character grid with the
+// axes' data ranges annotated. Later points overwrite earlier ones in the
+// same cell. Degenerate ranges (all points equal in one dimension) are
+// widened so rendering never divides by zero.
+func Scatter(points []Point, width, height int) string {
+	if width < 2 || height < 2 || len(points) == 0 {
+		return ""
+	}
+	minX, maxX := points[0].X, points[0].X
+	minY, maxY := points[0].Y, points[0].Y
+	for _, p := range points {
+		minX = math.Min(minX, p.X)
+		maxX = math.Max(maxX, p.X)
+		minY = math.Min(minY, p.Y)
+		maxY = math.Max(maxY, p.Y)
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]rune, height)
+	for i := range grid {
+		grid[i] = []rune(strings.Repeat(" ", width))
+	}
+	for _, p := range points {
+		col := int((p.X - minX) / (maxX - minX) * float64(width-1))
+		row := int((p.Y - minY) / (maxY - minY) * float64(height-1))
+		glyph := p.Glyph
+		if glyph == 0 {
+			glyph = '•'
+		}
+		grid[height-1-row][col] = glyph
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "y: %.4g..%.4g\n", minY, maxY)
+	for _, row := range grid {
+		b.WriteString("| ")
+		b.WriteString(string(row))
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "x: %.4g..%.4g\n", minX, maxX)
+	return b.String()
+}

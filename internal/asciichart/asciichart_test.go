@@ -1,0 +1,78 @@
+package asciichart
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSparklineEmpty(t *testing.T) {
+	if Sparkline(nil) != "" {
+		t.Error("empty series should render empty")
+	}
+}
+
+func TestSparklineShape(t *testing.T) {
+	s := []rune(Sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7}))
+	if len(s) != 8 {
+		t.Fatalf("length = %d", len(s))
+	}
+	if s[0] != '▁' || s[7] != '█' {
+		t.Errorf("endpoints = %c %c", s[0], s[7])
+	}
+	// Monotone input renders monotone glyph heights.
+	for i := 1; i < len(s); i++ {
+		if s[i] < s[i-1] {
+			t.Fatalf("non-monotone render: %s", string(s))
+		}
+	}
+}
+
+func TestSparklineConstant(t *testing.T) {
+	s := Sparkline([]float64{5, 5, 5})
+	if len([]rune(s)) != 3 {
+		t.Fatalf("render = %q", s)
+	}
+	runes := []rune(s)
+	if runes[0] != runes[1] || runes[1] != runes[2] {
+		t.Error("constant series rendered unevenly")
+	}
+}
+
+func TestSparklineNDownsamples(t *testing.T) {
+	xs := make([]float64, 144)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	s := []rune(SparklineN(xs, 36))
+	if len(s) != 36 {
+		t.Fatalf("length = %d, want 36", len(s))
+	}
+	// Short series pass through unchanged.
+	if got := SparklineN(xs[:10], 36); len([]rune(got)) != 10 {
+		t.Errorf("short series resampled: %q", got)
+	}
+}
+
+func TestScatterAnnotatesRanges(t *testing.T) {
+	out := Scatter([]Point{{X: 1, Y: 10}, {X: 5, Y: 50, Glyph: 'x'}}, 20, 5)
+	if !strings.Contains(out, "x: 1..5") || !strings.Contains(out, "y: 10..50") {
+		t.Errorf("missing range annotations:\n%s", out)
+	}
+	if !strings.Contains(out, "x") || !strings.Contains(out, "•") {
+		t.Errorf("missing glyphs:\n%s", out)
+	}
+	if lines := strings.Count(out, "\n"); lines != 7 { // y header + 5 rows + x footer
+		t.Errorf("line count = %d:\n%s", lines, out)
+	}
+}
+
+func TestScatterDegenerate(t *testing.T) {
+	if out := Scatter(nil, 10, 5); out != "" {
+		t.Error("empty points should render empty")
+	}
+	// Identical points must not panic or divide by zero.
+	out := Scatter([]Point{{X: 2, Y: 2}, {X: 2, Y: 2}}, 10, 4)
+	if out == "" {
+		t.Error("degenerate range rendered empty")
+	}
+}

@@ -1,0 +1,201 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"toto/internal/core"
+	"toto/internal/fabric"
+	"toto/internal/models"
+	"toto/internal/slo"
+	"toto/internal/stats"
+)
+
+// ablationScenario builds a shortened high-pressure scenario (140%
+// density, 2-day window) that exposes the design choices under test.
+func ablationScenario(name string, seeds core.Seeds) *core.Scenario {
+	sc := core.DefaultScenario(name, 1.4, core.DefaultModels().Set, seeds)
+	sc.Duration = 48 * time.Hour
+	sc.BootstrapDuration = 4 * time.Hour
+	return sc
+}
+
+// PlacementAblation compares the PLB's simulated-annealing placement
+// against pure greedy least-loaded placement (DESIGN.md §5): same
+// scenario, same seeds, only the policy flipped.
+type PlacementAblation struct {
+	Annealing AblationRun
+	Greedy    AblationRun
+}
+
+// AblationRun summarizes one run of an ablation arm.
+type AblationRun struct {
+	Failovers       int
+	FailedOverCores float64
+	Redirects       int
+	// DiskImbalance is the max/mean ratio of node disk at end of run —
+	// lower is better balanced.
+	DiskImbalance float64
+	Adjusted      float64
+}
+
+func summarize(r *core.Result) AblationRun {
+	var nodeDisk []float64
+	// Use the final node sample per node.
+	last := map[string]float64{}
+	for _, ns := range r.NodeSamples {
+		last[ns.Node] = ns.DiskUsageGB
+	}
+	for _, v := range last {
+		nodeDisk = append(nodeDisk, v)
+	}
+	imbalance := 0.0
+	if len(nodeDisk) > 0 {
+		if mean := stats.Mean(nodeDisk); mean > 0 {
+			imbalance = stats.Max(nodeDisk) / mean
+		}
+	}
+	return AblationRun{
+		Failovers:       len(r.Failovers),
+		FailedOverCores: r.TotalFailedOverCores(),
+		Redirects:       len(r.Redirects),
+		DiskImbalance:   imbalance,
+		Adjusted:        r.Revenue.Adjusted,
+	}
+}
+
+// RunPlacementAblation executes both placement arms.
+func RunPlacementAblation(seeds core.Seeds) (PlacementAblation, error) {
+	var out PlacementAblation
+	sa := ablationScenario("placement-sa", seeds)
+	resSA, err := core.Run(sa)
+	if err != nil {
+		return out, err
+	}
+	greedy := ablationScenario("placement-greedy", seeds)
+	greedy.FabricOverrides = func(cfg *fabric.Config) { cfg.GreedyPlacement = true }
+	resG, err := core.Run(greedy)
+	if err != nil {
+		return out, err
+	}
+	out.Annealing = summarize(resSA)
+	out.Greedy = summarize(resG)
+	return out, nil
+}
+
+// Print writes the placement ablation table.
+func (a PlacementAblation) Print(w io.Writer) {
+	fmt.Fprintln(w, "Ablation: simulated-annealing vs greedy placement (140% density, 2 days)")
+	fmt.Fprintf(w, "%-12s %-11s %-14s %-11s %-16s %s\n", "policy", "failovers", "moved cores", "redirects", "disk imbalance", "adjusted $")
+	for _, row := range []struct {
+		name string
+		r    AblationRun
+	}{{"annealing", a.Annealing}, {"greedy", a.Greedy}} {
+		fmt.Fprintf(w, "%-12s %-11d %-14.0f %-11d %-16.3f %.0f\n",
+			row.name, row.r.Failovers, row.r.FailedOverCores, row.r.Redirects, row.r.DiskImbalance, row.r.Adjusted)
+	}
+}
+
+// PersistenceAblation compares the paper's persisted BC disk metric
+// against a non-persisted variant (§3.3.2): without persistence, every
+// failover resets a local-store database's reported disk to zero, which
+// under-reports cluster pressure and misplaces subsequent replicas.
+type PersistenceAblation struct {
+	Persisted    AblationRun
+	NonPersisted AblationRun
+	// FinalDiskGB per arm: the non-persisted arm loses reported disk on
+	// every BC failover.
+	PersistedFinalDiskGB    float64
+	NonPersistedFinalDiskGB float64
+}
+
+// RunPersistenceAblation executes both persistence arms.
+func RunPersistenceAblation(seeds core.Seeds) (PersistenceAblation, error) {
+	var out PersistenceAblation
+
+	run := func(persisted bool, name string) (*core.Result, error) {
+		sc := ablationScenario(name, seeds)
+		// Clone the model set with the BC persistence flag overridden.
+		set := *sc.Models
+		disk := make(map[slo.Edition]*models.DiskUsageModel, len(set.Disk))
+		for e, d := range set.Disk {
+			dd := *d
+			if e == slo.PremiumBC {
+				dd.Persisted = persisted
+			}
+			disk[e] = &dd
+		}
+		set.Disk = disk
+		sc.Models = &set
+		return core.Run(sc)
+	}
+
+	resP, err := run(true, "disk-persisted")
+	if err != nil {
+		return out, err
+	}
+	resN, err := run(false, "disk-nonpersisted")
+	if err != nil {
+		return out, err
+	}
+	out.Persisted = summarize(resP)
+	out.NonPersisted = summarize(resN)
+	out.PersistedFinalDiskGB = resP.FinalDiskGB
+	out.NonPersistedFinalDiskGB = resN.FinalDiskGB
+	return out, nil
+}
+
+// Print writes the persistence ablation table.
+func (a PersistenceAblation) Print(w io.Writer) {
+	fmt.Fprintln(w, "Ablation: persisted vs non-persisted BC disk metric (§3.3.2)")
+	fmt.Fprintf(w, "%-15s %-11s %-14s %s\n", "variant", "failovers", "final disk GB", "adjusted $")
+	fmt.Fprintf(w, "%-15s %-11d %-14.0f %.0f\n", "persisted", a.Persisted.Failovers, a.PersistedFinalDiskGB, a.Persisted.Adjusted)
+	fmt.Fprintf(w, "%-15s %-11d %-14.0f %.0f\n", "non-persisted", a.NonPersisted.Failovers, a.NonPersistedFinalDiskGB, a.NonPersisted.Adjusted)
+	fmt.Fprintln(w, "(non-persisted resets a local-store database's reported disk on failover,")
+	fmt.Fprintln(w, " under-reporting real pressure — the wrong production semantics)")
+}
+
+// RefreshAblation measures the model-refresh-interval trade-off: shorter
+// intervals propagate XML edits faster but multiply Naming Service read
+// load (every node polls).
+type RefreshAblation struct {
+	Rows []RefreshRow
+}
+
+// RefreshRow is one refresh-interval arm.
+type RefreshRow struct {
+	Interval    time.Duration
+	NamingReads int64
+	Failovers   int
+	Adjusted    float64
+}
+
+// RunRefreshAblation executes arms at several refresh intervals.
+func RunRefreshAblation(seeds core.Seeds, intervals []time.Duration) (RefreshAblation, error) {
+	var out RefreshAblation
+	for _, iv := range intervals {
+		sc := ablationScenario(fmt.Sprintf("refresh-%s", iv), seeds)
+		sc.ModelRefreshInterval = iv
+		res, err := core.Run(sc)
+		if err != nil {
+			return out, err
+		}
+		out.Rows = append(out.Rows, RefreshRow{
+			Interval:    iv,
+			NamingReads: res.NamingReads,
+			Failovers:   len(res.Failovers),
+			Adjusted:    res.Revenue.Adjusted,
+		})
+	}
+	return out, nil
+}
+
+// Print writes the refresh ablation table.
+func (a RefreshAblation) Print(w io.Writer) {
+	fmt.Fprintln(w, "Ablation: model refresh interval (every node polls the Naming Service)")
+	fmt.Fprintf(w, "%-12s %-14s %-11s %s\n", "interval", "naming reads", "failovers", "adjusted $")
+	for _, r := range a.Rows {
+		fmt.Fprintf(w, "%-12s %-14d %-11d %.0f\n", r.Interval, r.NamingReads, r.Failovers, r.Adjusted)
+	}
+}

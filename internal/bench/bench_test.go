@@ -1,0 +1,296 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"toto/internal/core"
+	"toto/internal/slo"
+)
+
+// shortStudy runs a reduced (1-day) density study once per test binary.
+func shortStudy(t *testing.T) *Study {
+	t.Helper()
+	cfg := DefaultStudyConfig()
+	cfg.Days = 1
+	study, err := RunStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return study
+}
+
+func TestStudyArtifacts(t *testing.T) {
+	study := shortStudy(t)
+
+	t.Run("fig2", func(t *testing.T) {
+		rows := study.Fig2()
+		if len(rows) != 4 {
+			t.Fatalf("rows = %d", len(rows))
+		}
+		if rows[0].RelCPUReservation != 1 || rows[0].RelAdjustedRevenue != 1 {
+			t.Errorf("baseline row not normalized: %+v", rows[0])
+		}
+		// Higher density reserves at least as much CPU (strict increase
+		// needs the full 6-day window; a 1-day study can tie).
+		for i := 1; i < len(rows); i++ {
+			if rows[i].RelCPUReservation < rows[i-1].RelCPUReservation-1e-9 {
+				t.Errorf("CPU reservation decreasing with density: %+v", rows)
+			}
+		}
+	})
+
+	t.Run("tab2", func(t *testing.T) {
+		counts := study.Tab2()
+		if counts[slo.PremiumBC] != 33 || counts[slo.StandardGP] != 187 {
+			t.Errorf("population = %v", counts)
+		}
+	})
+
+	t.Run("tab3", func(t *testing.T) {
+		rows := study.Tab3()
+		for i := 1; i < len(rows); i++ {
+			if rows[i].FreeRemainingCores <= rows[i-1].FreeRemainingCores {
+				t.Errorf("free cores not increasing with density: %+v", rows)
+			}
+		}
+		for _, r := range rows {
+			if r.DiskUsagePercent < 65 || r.DiskUsagePercent > 85 {
+				t.Errorf("disk usage = %v%%, want ~77%%", r.DiskUsagePercent)
+			}
+		}
+	})
+
+	t.Run("fig10", func(t *testing.T) {
+		series, _ := study.Fig10Series()
+		for d, s := range series {
+			if len(s) != 24 {
+				t.Fatalf("series length at %v = %d", d, len(s))
+			}
+			for i := 1; i < len(s); i++ {
+				if s[i] < s[i-1] {
+					t.Fatalf("cumulative series decreased at %v", d)
+				}
+			}
+		}
+	})
+
+	t.Run("fig11", func(t *testing.T) {
+		pts := study.Fig11()
+		if len(pts) == 0 {
+			t.Fatal("no points")
+		}
+	})
+
+	t.Run("fig12a", func(t *testing.T) {
+		rows := study.Fig12a()
+		if rows[0].RelDiskUtil != 1 || rows[0].RelReservedCores != 1 {
+			t.Errorf("baseline not normalized: %+v", rows[0])
+		}
+	})
+
+	t.Run("fig12b", func(t *testing.T) {
+		rows := study.Fig12b()
+		for _, r := range rows {
+			if r.Total != r.BCCores+r.GPCores {
+				t.Errorf("total mismatch: %+v", r)
+			}
+		}
+	})
+
+	t.Run("fig14", func(t *testing.T) {
+		rows := study.Fig14()
+		for _, r := range rows {
+			if diff := r.Adjusted - (r.Gross - r.Penalty); diff > 1e-6 || diff < -1e-6 {
+				t.Errorf("adjusted != gross - penalty: %+v", r)
+			}
+		}
+	})
+
+	t.Run("printers", func(t *testing.T) {
+		var buf bytes.Buffer
+		study.PrintFig2(&buf)
+		study.PrintTab2(&buf)
+		study.PrintTab3(&buf)
+		study.PrintFig10(&buf, 6)
+		study.PrintFig11(&buf)
+		study.PrintFig12a(&buf)
+		study.PrintFig12b(&buf)
+		study.PrintFig14(&buf)
+		out := buf.String()
+		for _, want := range []string{"Figure 2", "Table 2", "Table 3", "Figure 10", "Figure 11", "Figure 12(a)", "Figure 12(b)", "Figure 14"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("output missing %q", want)
+			}
+		}
+	})
+}
+
+func TestFig3Artifacts(t *testing.T) {
+	f3a := RunFig3a(1)
+	if f3a.Mean2 <= f3a.Mean1 {
+		t.Errorf("Region 2 local-store share (%v) not above Region 1 (%v)", f3a.Mean2, f3a.Mean1)
+	}
+	if len(f3a.Region1) != 7 {
+		t.Errorf("days = %d", len(f3a.Region1))
+	}
+
+	f3b := RunFig3b(1, 2000)
+	if f3b.CPU.Median > 40 {
+		t.Errorf("median CPU = %v, population should skew low", f3b.CPU.Median)
+	}
+	if f3b.LowCPUFrac < 0.4 {
+		t.Errorf("low-CPU share = %v", f3b.LowCPUFrac)
+	}
+
+	var buf bytes.Buffer
+	f3a.Print(&buf)
+	f3b.Print(&buf)
+	if !strings.Contains(buf.String(), "Figure 3(a)") || !strings.Contains(buf.String(), "Figure 3(b)") {
+		t.Error("printers missing headers")
+	}
+}
+
+func TestModelingArtifacts(t *testing.T) {
+	tm := core.DefaultModels()
+
+	t.Run("fig6", func(t *testing.T) {
+		f := RunFig6(tm)
+		gp := f.Boxes[slo.StandardGP]
+		// Weekday business hours above weekend for GP creates.
+		if gp[0][13].Median <= gp[1][13].Median {
+			t.Errorf("WD median %v not above WE %v", gp[0][13].Median, gp[1][13].Median)
+		}
+		bc := f.Boxes[slo.PremiumBC]
+		if bc[0][13].Median >= gp[0][13].Median {
+			t.Error("BC creates not below GP")
+		}
+	})
+
+	t.Run("fig7", func(t *testing.T) {
+		f := RunFig7(tm)
+		if len(f.Boxes) != 8 {
+			t.Fatalf("boxes = %d, want 8 (2 editions x 2 kinds x WD/WE)", len(f.Boxes))
+		}
+		total := 0
+		for _, r := range f.Rejected {
+			total += r
+		}
+		// §4.1.3: all but a few cells pass normality.
+		if total > 12 {
+			t.Errorf("rejected cells = %d of 192", total)
+		}
+	})
+
+	t.Run("fig8", func(t *testing.T) {
+		f, err := RunFig8(tm, 25, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range slo.Editions() {
+			cv := f.Creates[e]
+			rel := (cv.ModelTotal - cv.ProductionTotal) / cv.ProductionTotal
+			if rel < -0.06 || rel > 0.06 {
+				t.Errorf("%s create totals off by %v", e, rel)
+			}
+		}
+		if len(f.NetProduction) != len(f.NetModelMean) {
+			t.Error("net series length mismatch")
+		}
+	})
+
+	t.Run("fig9", func(t *testing.T) {
+		for _, e := range slo.Editions() {
+			f, err := RunFig9(tm, e, 9)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if f.SteadyFraction < 0.985 {
+				t.Errorf("%s steady fraction = %v", e, f.SteadyFraction)
+			}
+			if len(f.Candidates) != 3 {
+				t.Errorf("%s candidates = %d", e, len(f.Candidates))
+			}
+			rel := (f.ModelFinalGB - f.ProdFinalGB) / f.ProdFinalGB
+			if rel < -0.15 || rel > 0.15 {
+				t.Errorf("%s cumulative usage off by %v", e, rel)
+			}
+		}
+	})
+
+	t.Run("tab1", func(t *testing.T) {
+		tab := RunTab1(tm)
+		for i, ok := range tab.Distinguishes {
+			if !ok {
+				t.Errorf("feature %q not distinguished by the trained models", tab.Features[i])
+			}
+		}
+	})
+}
+
+func TestFig13ShortRepeatability(t *testing.T) {
+	cfg := DefaultRepeatabilityConfig()
+	cfg.Runs = 2
+	cfg.Hours = 4
+	f, err := RunFig13(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Results) != 2 || len(f.Pairwise) != 2 {
+		t.Fatalf("results=%d pairwise=%d", len(f.Results), len(f.Pairwise))
+	}
+	ins, tot := f.InsignificantPairs(0.05)
+	if tot != 2 {
+		t.Errorf("total pairs = %d", tot)
+	}
+	_ = ins // short runs may legitimately differ; full-length check is in totobench
+	var buf bytes.Buffer
+	f.Print(&buf)
+	if !strings.Contains(buf.String(), "Wilcoxon") {
+		t.Error("printer output incomplete")
+	}
+}
+
+func TestAblationsShort(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablations run multi-hour simulations")
+	}
+	seeds := DefaultSeeds
+
+	pa, err := RunPlacementAblation(seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pa.Annealing.DiskImbalance <= 0 || pa.Greedy.DiskImbalance <= 0 {
+		t.Errorf("imbalance not computed: %+v", pa)
+	}
+
+	persist, err := RunPersistenceAblation(seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if persist.PersistedFinalDiskGB <= 0 {
+		t.Error("persisted arm empty")
+	}
+
+	refresh, err := RunRefreshAblation(seeds, []time.Duration{15 * time.Minute, time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refresh.Rows) != 2 {
+		t.Fatal("rows missing")
+	}
+	if refresh.Rows[0].NamingReads <= refresh.Rows[1].NamingReads {
+		t.Errorf("shorter interval should read more: %v vs %v",
+			refresh.Rows[0].NamingReads, refresh.Rows[1].NamingReads)
+	}
+	var buf bytes.Buffer
+	pa.Print(&buf)
+	persist.Print(&buf)
+	refresh.Print(&buf)
+	if !strings.Contains(buf.String(), "Ablation") {
+		t.Error("ablation printers incomplete")
+	}
+}

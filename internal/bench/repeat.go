@@ -1,0 +1,151 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"toto/internal/core"
+	"toto/internal/stats"
+)
+
+// RepeatabilityConfig parameterizes the §5.3.4 analysis: n identical
+// experiments differing only in the PLB's annealing seed.
+type RepeatabilityConfig struct {
+	Seeds core.Seeds
+	Runs  int
+	Hours int
+}
+
+// DefaultRepeatabilityConfig returns the paper's three 18-hour repeats.
+func DefaultRepeatabilityConfig() RepeatabilityConfig {
+	return RepeatabilityConfig{Seeds: DefaultSeeds, Runs: 3, Hours: 18}
+}
+
+// Fig13 is the repeatability analysis result: per-run node-level
+// dispersions, all pairwise Wilcoxon signed-rank tests, and failover
+// counts.
+type Fig13 struct {
+	Results     []*core.Result
+	Dispersions []NodeDispersion
+	// Pairwise holds one entry per run pair per metric.
+	Pairwise []Fig13Pair
+	// Failovers per run (the paper saw 1, 0, 1).
+	Failovers []int
+}
+
+// Fig13Pair is one Wilcoxon comparison between two runs.
+type Fig13Pair struct {
+	RunA, RunB int
+	Metric     string
+	Result     stats.WilcoxonResult
+	Identical  bool // all paired differences were zero
+}
+
+// RunFig13 executes the repeated experiments and the significance tests.
+// Node samples are paired by (time, within-time value rank); see
+// nodeSeries for why rank pairing is the right comparison.
+func RunFig13(cfg RepeatabilityConfig) (*Fig13, error) {
+	tm := core.DefaultModels()
+	build := func(seeds core.Seeds) *core.Scenario {
+		sc := core.DefaultScenario("repeat-18h", 1.1, tm.Set, seeds)
+		sc.Duration = time.Duration(cfg.Hours) * time.Hour
+		return sc
+	}
+	results, err := core.RepeatRun(build, cfg.Seeds, cfg.Runs)
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig13{Results: results}
+	for _, r := range results {
+		out.Dispersions = append(out.Dispersions, NodeDispersionOf(r))
+		out.Failovers = append(out.Failovers, len(r.Failovers))
+	}
+	for a := 0; a < len(results); a++ {
+		for b := a + 1; b < len(results); b++ {
+			for _, metric := range []string{"diskGB", "cores"} {
+				xa := nodeSeries(results[a], metric)
+				xb := nodeSeries(results[b], metric)
+				n := len(xa)
+				if len(xb) < n {
+					n = len(xb)
+				}
+				pair := Fig13Pair{RunA: a + 1, RunB: b + 1, Metric: metric}
+				res, werr := stats.Wilcoxon(xa[:n], xb[:n])
+				if werr == stats.ErrAllZeroDiffs {
+					pair.Identical = true
+					pair.Result = stats.WilcoxonResult{P: 1, N: n}
+				} else if werr != nil {
+					return nil, werr
+				} else {
+					pair.Result = res
+				}
+				out.Pairwise = append(out.Pairwise, pair)
+			}
+		}
+	}
+	return out, nil
+}
+
+// nodeSeries flattens a run's node samples for one metric, ordered by
+// time and, within each timestamp, by value rank. Node identities are
+// not comparable across runs — the PLB seed shuffles which node hosts
+// what — so the Wilcoxon pairing compares the node-level *distributions*
+// at each instant (the quantity Figure 13's box plots show), pairing the
+// k-th most loaded node of one run with the k-th of the other.
+func nodeSeries(r *core.Result, metric string) []float64 {
+	byTime := make(map[time.Time][]float64)
+	var times []time.Time
+	for _, ns := range r.NodeSamples {
+		v := ns.DiskUsageGB
+		if metric == "cores" {
+			v = ns.ReservedCores
+		}
+		if _, ok := byTime[ns.Time]; !ok {
+			times = append(times, ns.Time)
+		}
+		byTime[ns.Time] = append(byTime[ns.Time], v)
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i].Before(times[j]) })
+	var out []float64
+	for _, t := range times {
+		vs := byTime[t]
+		sort.Float64s(vs)
+		out = append(out, vs...)
+	}
+	return out
+}
+
+// InsignificantPairs counts pairwise tests that do NOT reject "same
+// distribution" at alpha (the paper found 5 of 6 insignificant).
+func (f *Fig13) InsignificantPairs(alpha float64) (insignificant, total int) {
+	for _, p := range f.Pairwise {
+		total++
+		if p.Identical || !p.Result.Reject(alpha) {
+			insignificant++
+		}
+	}
+	return insignificant, total
+}
+
+// Print writes the Figure 13 summary.
+func (f *Fig13) Print(w io.Writer) {
+	fmt.Fprintln(w, "Figure 13: repeatability across identical runs (PLB seed varies)")
+	fmt.Fprintf(w, "%-5s %-30s %-30s %s\n", "run", "node disk GB (Q1/med/Q3)", "node cores (Q1/med/Q3)", "failovers")
+	for i, d := range f.Dispersions {
+		fmt.Fprintf(w, "%-5d %8.0f /%8.0f /%8.0f   %8.1f /%8.1f /%8.1f   %d\n",
+			i+1, d.Disk.Q1, d.Disk.Median, d.Disk.Q3,
+			d.Cores.Q1, d.Cores.Median, d.Cores.Q3, f.Failovers[i])
+	}
+	fmt.Fprintln(w, "pairwise Wilcoxon signed-rank tests (alpha=0.05):")
+	for _, p := range f.Pairwise {
+		verdict := "insignificant (same distribution not rejected)"
+		if !p.Identical && p.Result.Reject(0.05) {
+			verdict = "SIGNIFICANT difference"
+		}
+		fmt.Fprintf(w, "  exp %d vs %d, %-7s p=%.4f  %s\n", p.RunA, p.RunB, p.Metric, p.Result.P, verdict)
+	}
+	ins, tot := f.InsignificantPairs(0.05)
+	fmt.Fprintf(w, "insignificant pairs: %d of %d (paper: 5 of 6)\n", ins, tot)
+}

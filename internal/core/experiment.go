@@ -1,0 +1,278 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"toto/internal/models"
+	"toto/internal/revenue"
+	"toto/internal/slo"
+	"toto/internal/telemetry"
+)
+
+// Result is everything one benchmark run produced.
+type Result struct {
+	Scenario string
+	Density  float64
+
+	// BootstrapReservedCores and BootstrapDiskGB capture Table 3's
+	// starting state (after placement, before growth).
+	BootstrapReservedCores float64
+	BootstrapFreeCores     float64
+	BootstrapDiskGB        float64
+	BootstrapDiskUtil      float64
+	InitialCounts          map[slo.Edition]int
+
+	// Samples are the hourly cluster-level series over the measured
+	// window (Figures 10, 11).
+	Samples []telemetry.Sample
+	// NodeSamples are 10-minute node-level readings (Figure 13).
+	NodeSamples []telemetry.NodeSample
+	// Failovers are all capacity-violation movements (Figure 12b).
+	Failovers []telemetry.FailoverRecord
+	// Redirects are creation redirects (Figure 10).
+	Redirects []telemetry.RedirectRecord
+	// RedirectsByHour is the cumulative redirect series.
+	RedirectsByHour []int
+	// FirstRedirectHour is the first hour with a redirect (-1 if none).
+	FirstRedirectHour int
+
+	// Final state at experiment end.
+	FinalReservedCores float64
+	FinalDiskGB        float64
+	FinalCoreUtil      float64 // vs. 100%-density logical capacity
+	FinalDiskUtil      float64
+
+	// FailedOverCores per edition and total (Figure 12b, Figure 2 x-axis).
+	FailedOverCores map[slo.Edition]float64
+
+	// Revenue scoring (Figure 14, Figure 2 circle sizes).
+	Revenue revenue.Totals
+	PerDB   []revenue.Revenue
+
+	Creates, Drops, PopFailures int
+	// CreatesByEdition/DropsByEdition count churn during the measured
+	// window (bootstrap creates are excluded by recorder start time).
+	CreatesByEdition map[slo.Edition]int
+	DropsByEdition   map[slo.Edition]int
+	// PeakNodeDiskUtil is the highest node-level disk utilization
+	// observed in the node samples.
+	PeakNodeDiskUtil float64
+	// NamingReads counts Naming Service Get calls over the whole run —
+	// dominated by the per-node model refresh polling and the persisted
+	// disk-metric protocol.
+	NamingReads int64
+	// BalanceMoves counts proactive balancing movements (zero unless the
+	// PLB's balancing is enabled; not included in the failover KPI).
+	BalanceMoves int
+	// PoolsProvisioned, PoolMemberCreates, and PoolMemberDrops summarize
+	// elastic-pool churn (zero unless the model set carries a PoolPolicy).
+	PoolsProvisioned  int
+	PoolMemberCreates int
+	PoolMemberDrops   int
+}
+
+// TotalFailedOverCores sums moved cores across editions.
+func (r *Result) TotalFailedOverCores() float64 {
+	total := 0.0
+	for _, v := range r.FailedOverCores {
+		total += v
+	}
+	return total
+}
+
+// Run executes the full experiment protocol of §5.2 on a scenario:
+//
+//  1. Deploy the cluster and inject the model XML with growth frozen.
+//  2. Bootstrap the initial population (disk usage initialized, growth
+//     fixed to 0) and let the PLB place and balance it.
+//  3. Unfreeze the models, start the Population Manager and telemetry,
+//     and run for the scenario duration.
+//  4. Score modeled adjusted revenue per database under the SLA.
+func Run(s *Scenario) (*Result, error) {
+	o, err := NewOrchestrator(s)
+	if err != nil {
+		return nil, err
+	}
+	defer o.Stop()
+
+	// Phase 1: frozen models.
+	frozen := cloneFrozen(s.Models, true)
+	if err := o.WriteModels(frozen); err != nil {
+		return nil, fmt.Errorf("core: write frozen models: %w", err)
+	}
+	o.Start()
+
+	// Phase 2: bootstrap.
+	counts, err := o.BootstrapPopulation()
+	if err != nil {
+		return nil, err
+	}
+	o.Clock.RunUntil(s.Start.Add(s.BootstrapDuration))
+
+	res := &Result{
+		Scenario:               s.Name,
+		Density:                s.Density,
+		InitialCounts:          counts,
+		BootstrapReservedCores: o.Cluster.ReservedCores(),
+		BootstrapFreeCores:     o.Cluster.FreeCores(),
+		BootstrapDiskGB:        o.Cluster.DiskUsage(),
+		BootstrapDiskUtil:      o.Cluster.DiskUsage() / o.Cluster.DiskCapacity(),
+		FailedOverCores:        make(map[slo.Edition]float64),
+	}
+
+	// Phase 3: measured window.
+	live := cloneFrozen(s.Models, false)
+	if err := o.WriteModels(live); err != nil {
+		return nil, fmt.Errorf("core: write live models: %w", err)
+	}
+	measureStart := o.Clock.Now()
+	o.Recorder.Start()
+	o.PopMgr.Start()
+	if s.UpgradeStart > 0 {
+		perNode := s.UpgradePerNode
+		if perNode <= 0 {
+			perNode = 20 * time.Minute
+		}
+		o.Cluster.ScheduleRollingUpgrade(measureStart.Add(s.UpgradeStart), perNode)
+	}
+	o.Clock.RunUntil(measureStart.Add(s.Duration))
+
+	// Phase 4: collect and score.
+	res.Samples = o.Recorder.Samples()
+	res.NodeSamples = o.Recorder.NodeSamples()
+	res.Failovers = o.Recorder.Failovers()
+	res.Redirects = o.Recorder.Redirects()
+	hours := int(s.Duration / time.Hour)
+	res.RedirectsByHour = o.Recorder.RedirectsByHour(measureStart, hours)
+	res.FirstRedirectHour = -1
+	for h, c := range res.RedirectsByHour {
+		if c > 0 {
+			res.FirstRedirectHour = h
+			break
+		}
+	}
+	res.FinalReservedCores = o.Cluster.ReservedCores()
+	res.FinalDiskGB = o.Cluster.DiskUsage()
+	res.FinalDiskUtil = res.FinalDiskGB / o.Cluster.DiskCapacity()
+	baselineCores := float64(s.NodeSpec.LogicalCores * s.Nodes)
+	res.FinalCoreUtil = res.FinalReservedCores / baselineCores
+
+	for _, f := range res.Failovers {
+		res.FailedOverCores[f.Edition] += f.MovedCores
+	}
+
+	if err := scoreRevenue(o, res, measureStart); err != nil {
+		return nil, err
+	}
+
+	creates, drops, fails := o.PopMgr.Stats()
+	res.Creates, res.Drops, res.PopFailures = creates, drops, fails
+	res.CreatesByEdition = o.Recorder.CreatesByEdition()
+	res.DropsByEdition = o.Recorder.DropsByEdition()
+	diskCap := s.NodeSpec.LogicalDiskGB
+	for _, ns := range res.NodeSamples {
+		if u := ns.DiskUsageGB / diskCap; u > res.PeakNodeDiskUtil {
+			res.PeakNodeDiskUtil = u
+		}
+	}
+	res.NamingReads = o.Cluster.Naming().Reads()
+	res.BalanceMoves = o.Cluster.BalanceMoveCount()
+	res.PoolsProvisioned = len(o.Pools.Pools())
+	res.PoolMemberCreates, res.PoolMemberDrops = o.PopMgr.PoolStats()
+	return res, nil
+}
+
+// scoreRevenue computes per-database modeled adjusted revenue over the
+// measured window (§5.1).
+func scoreRevenue(o *Orchestrator, res *Result, measureStart time.Time) error {
+	end := o.Clock.Now()
+	sla := revenue.DefaultSLA()
+	for _, svc := range o.Cluster.Services() {
+		sl, err := o.Control.ServiceSLO(svc)
+		if err != nil {
+			return err
+		}
+		// Score only time inside the measured window.
+		from := svc.Created
+		if from.Before(measureStart) {
+			from = measureStart
+		}
+		to := end
+		if !svc.Dropped.IsZero() && svc.Dropped.Before(end) {
+			to = svc.Dropped
+		}
+		if !to.After(from) {
+			continue
+		}
+		lifetime := to.Sub(from)
+		avgDisk := 0.0
+		if gbs := o.DiskGBSeconds(svc.Name); gbs > 0 {
+			avgDisk = gbs / svc.Lifetime(end).Seconds()
+		}
+		downtime := svc.Downtime
+		if downtime > lifetime {
+			downtime = lifetime
+		}
+		rev, err := revenue.Score(revenue.Usage{
+			DB:        svc.Name,
+			SLO:       sl,
+			Lifetime:  lifetime,
+			AvgDiskGB: avgDisk,
+			Downtime:  downtime,
+		}, sla)
+		if err != nil {
+			return err
+		}
+		res.PerDB = append(res.PerDB, rev)
+	}
+	res.Revenue = revenue.Aggregate(res.PerDB)
+	return nil
+}
+
+// cloneFrozen returns a shallow copy of set with the Frozen flag set.
+// Models are immutable during a run, so sharing the inner pointers is
+// safe.
+func cloneFrozen(set *models.ModelSet, frozen bool) *models.ModelSet {
+	c := *set
+	c.Frozen = frozen
+	return &c
+}
+
+// DensityStudy runs the same scenario at several density levels,
+// reproducing the paper's §5 study. The PLB seed varies per density run
+// only if varyPLBSeed is set (the paper could not hold it fixed; keeping
+// it fixed here shows the framework's repeatability instead).
+func DensityStudy(base func(density float64, seeds Seeds) *Scenario, densities []float64, seeds Seeds, varyPLBSeed bool) ([]*Result, error) {
+	var out []*Result
+	for i, d := range densities {
+		s := seeds
+		if varyPLBSeed {
+			s.PLB = seeds.PLB + uint64(i+1)*7919
+		}
+		sc := base(d, s)
+		res, err := Run(sc)
+		if err != nil {
+			return nil, fmt.Errorf("core: density %.0f%%: %w", d*100, err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// RepeatRun executes the identical scenario n times varying only the PLB
+// seed, reproducing the paper's §5.3.4 repeatability analysis (three
+// identical 18-hour experiments).
+func RepeatRun(build func(seeds Seeds) *Scenario, seeds Seeds, n int) ([]*Result, error) {
+	var out []*Result
+	for i := 0; i < n; i++ {
+		s := seeds
+		s.PLB = seeds.PLB + uint64(i)*104729
+		res, err := Run(build(s))
+		if err != nil {
+			return nil, fmt.Errorf("core: repeat %d: %w", i, err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}

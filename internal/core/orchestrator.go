@@ -1,0 +1,500 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"toto/internal/controlplane"
+	"toto/internal/fabric"
+	"toto/internal/models"
+	"toto/internal/pools"
+	"toto/internal/population"
+	"toto/internal/rgmanager"
+	"toto/internal/rng"
+	"toto/internal/simclock"
+	"toto/internal/slo"
+	"toto/internal/telemetry"
+)
+
+// Orchestrator assembles a benchmark deployment: the cluster, one
+// RgManager per node, the reporting engine that drives replica metric
+// reports through the managers, the Population Manager, and telemetry.
+// It is the in-repo equivalent of the paper's "man behind the curtain"
+// (§3): it instructs when databases are created and dropped and what each
+// database's resource usage currently is — entirely through the same
+// interfaces production components use (Naming Service XML, RgManager
+// RPCs, control-plane CRUD).
+type Orchestrator struct {
+	Scenario *Scenario
+	Clock    *simclock.Clock
+	Cluster  *fabric.Cluster
+	Control  *controlplane.ControlPlane
+	PopMgr   *population.Manager
+	Recorder *telemetry.Recorder
+	Pools    *pools.Manager
+
+	managers map[string]*rgmanager.Manager
+	dbinfo   map[string]rgmanager.DBInfo
+	// diskGBSeconds integrates each database's primary disk usage over
+	// time, feeding the storage-revenue term.
+	diskGBSeconds map[string]float64
+	lastReport    time.Time
+
+	tickers []*simclock.Ticker
+}
+
+// NewOrchestrator builds (but does not start) a deployment for scenario.
+func NewOrchestrator(s *Scenario) (*Orchestrator, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	clock := simclock.New(s.Start)
+
+	cfg := fabric.DefaultConfig()
+	cfg.Density = s.Density
+	cfg.PLBSeed = s.Seeds.PLB
+	if s.PLBScanInterval > 0 {
+		cfg.ScanInterval = s.PLBScanInterval
+	}
+	if s.FabricOverrides != nil {
+		s.FabricOverrides(&cfg)
+	}
+	capacity := map[fabric.MetricName]float64{
+		fabric.MetricCores:    float64(s.NodeSpec.LogicalCores),
+		fabric.MetricDiskGB:   s.NodeSpec.LogicalDiskGB,
+		fabric.MetricMemoryGB: s.NodeSpec.LogicalMemoryGB,
+	}
+	cluster := fabric.NewCluster(clock, s.Nodes, capacity, cfg)
+
+	o := &Orchestrator{
+		Scenario:      s,
+		Clock:         clock,
+		Cluster:       cluster,
+		Control:       controlplane.New(cluster, s.Catalog),
+		managers:      make(map[string]*rgmanager.Manager),
+		dbinfo:        make(map[string]rgmanager.DBInfo),
+		diskGBSeconds: make(map[string]float64),
+		lastReport:    s.Start,
+	}
+
+	// One RgManager per node, each with a unique seed split from the
+	// model seed (§5.2).
+	seedRoot := rng.New(s.Seeds.Models)
+	for _, n := range cluster.Nodes() {
+		o.managers[n.ID] = rgmanager.New(n.ID, cluster.Naming(), seedRoot.Split(n.ID).Uint64())
+	}
+
+	o.Recorder = telemetry.NewRecorder(clock, cluster, s.TelemetryInterval, s.NodeTelemetryInterval, func(svc *fabric.Service) slo.Edition {
+		e, err := controlplane.ServiceEdition(svc)
+		if err != nil {
+			return slo.StandardGP
+		}
+		return e
+	})
+	o.Control.OnRedirect(func(db string, sl slo.SLO) {
+		o.Recorder.RecordRedirect(db, sl.Edition, sl.Name, float64(sl.TotalCores()))
+	})
+
+	o.Pools = pools.NewManager(o.Control)
+	o.PopMgr = population.New(clock, cluster.Naming(), o.Control, s.Seeds.Population)
+	o.PopMgr.OnCreated(func(svc *fabric.Service, sl slo.SLO, initialDiskGB float64) {
+		o.registerDB(svc, sl)
+		o.seedInitialLoad(svc, sl, initialDiskGB)
+	})
+	o.PopMgr.SetPoolOps(poolOps{o})
+
+	// Evict per-node in-memory model state when a replica leaves a node,
+	// and clear persisted state when a database is dropped.
+	cluster.Subscribe(func(ev fabric.Event) {
+		switch ev.Kind {
+		case fabric.EventFailover, fabric.EventBalanceMove:
+			if mgr, ok := o.managers[ev.From]; ok {
+				svc := ev.Service
+				if ev.Replica.Index >= 0 && ev.Replica.Index < len(svc.Replicas) {
+					mgr.Evict(ev.Replica, svc.Replicas[ev.Replica.Index].Incarnation-1)
+				}
+			}
+		case fabric.EventServiceDropped:
+			rgmanager.ClearPersisted(cluster.Naming(), ev.Service.Name)
+			if p, ok := o.Pools.Pool(ev.Service.Name); ok {
+				for _, member := range p.Members() {
+					rgmanager.ClearPersisted(cluster.Naming(), member.DB)
+				}
+			}
+		}
+	})
+	return o, nil
+}
+
+// Manager returns the RgManager of one node (for tests and tools).
+func (o *Orchestrator) Manager(nodeID string) *rgmanager.Manager { return o.managers[nodeID] }
+
+// DBInfo returns the registered metadata for a database.
+func (o *Orchestrator) DBInfo(db string) (rgmanager.DBInfo, bool) {
+	info, ok := o.dbinfo[db]
+	return info, ok
+}
+
+// DiskGBSeconds returns the integral of a database's disk usage (GB·s).
+func (o *Orchestrator) DiskGBSeconds(db string) float64 { return o.diskGBSeconds[db] }
+
+// RegisterDatabase records the metadata the RgManagers need to evaluate
+// models for a database created outside the Population Manager (tools
+// and repro harnesses drive the control plane directly).
+func (o *Orchestrator) RegisterDatabase(svc *fabric.Service, sl slo.SLO) { o.registerDB(svc, sl) }
+
+// registerDB records the metadata the RgManagers need for a database.
+func (o *Orchestrator) registerDB(svc *fabric.Service, sl slo.SLO) {
+	o.dbinfo[svc.Name] = rgmanager.DBInfo{
+		Name:        svc.Name,
+		Edition:     sl.Edition,
+		Created:     svc.Created,
+		MaxDiskGB:   sl.MaxDiskGB,
+		MaxMemoryGB: sl.MemoryGB,
+	}
+}
+
+// seedInitialLoad reports an initial disk load for every replica of a new
+// database and primes the model state so subsequent model evaluations
+// grow from it.
+func (o *Orchestrator) seedInitialLoad(svc *fabric.Service, sl slo.SLO, diskGB float64) {
+	if diskGB < 0 {
+		diskGB = 0
+	}
+	if diskGB > sl.MaxDiskGB {
+		diskGB = sl.MaxDiskGB
+	}
+	info := o.dbinfo[svc.Name]
+	for _, rep := range svc.Replicas {
+		if rep.Node == nil {
+			continue
+		}
+		if err := o.Cluster.ReportLoad(rep.ID, fabric.MetricDiskGB, diskGB); err != nil {
+			continue
+		}
+		if mgr, ok := o.managers[rep.Node.ID]; ok {
+			mgr.SeedLoad(rep, info, fabric.MetricDiskGB, diskGB)
+		}
+	}
+}
+
+// WriteModels serializes set into the Naming Service and immediately
+// refreshes every manager (production managers would pick it up within 15
+// minutes; the immediate refresh models the experiment operator waiting
+// for propagation before proceeding).
+func (o *Orchestrator) WriteModels(set *models.ModelSet) error {
+	data, err := set.EncodeXML()
+	if err != nil {
+		return err
+	}
+	o.Cluster.Naming().Put(models.NamingKey, data)
+	for _, mgr := range o.managers {
+		if err := mgr.Refresh(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Start launches the PLB scan, the model-refresh tickers, and the
+// metric-reporting engine. The Population Manager is started separately
+// (the experiment protocol bootstraps first).
+func (o *Orchestrator) Start() {
+	o.Cluster.Start()
+	if o.Scenario.ModelRefreshInterval > 0 {
+		o.tickers = append(o.tickers, o.Clock.Every(o.Scenario.ModelRefreshInterval, func(time.Time) {
+			for _, mgr := range o.managers {
+				// A malformed blob leaves the previous models active;
+				// production RgManager is similarly defensive.
+				_ = mgr.Refresh()
+			}
+		}))
+	}
+	interval := o.Scenario.Models.DiskReportInterval()
+	o.tickers = append(o.tickers, o.Clock.Every(interval, func(now time.Time) {
+		o.reportDisk(now)
+	}))
+	if o.Scenario.MemoryReportInterval > 0 {
+		o.tickers = append(o.tickers, o.Clock.Every(o.Scenario.MemoryReportInterval, func(now time.Time) {
+			o.reportMemory(now)
+		}))
+	}
+}
+
+// Stop halts everything the orchestrator scheduled.
+func (o *Orchestrator) Stop() {
+	for _, t := range o.tickers {
+		t.Stop()
+	}
+	o.tickers = nil
+	o.Cluster.Stop()
+	o.PopMgr.Stop()
+	o.Recorder.Stop()
+}
+
+// reportDisk drives one disk-report round: every replica of every live
+// database consults its node's RgManager and reports the computed load to
+// the PLB. Primaries report before secondaries so persisted-metric
+// secondaries read the freshly written value (§3.3.2).
+func (o *Orchestrator) reportDisk(now time.Time) {
+	dt := now.Sub(o.lastReport).Seconds()
+	o.lastReport = now
+	for _, svc := range o.Cluster.LiveServices() {
+		info, ok := o.dbinfo[svc.Name]
+		if !ok {
+			continue
+		}
+		var members []rgmanager.DBInfo
+		if pools.IsPoolService(svc) {
+			members = o.poolMemberInfos(svc.Name)
+		}
+		var primaryLoad float64
+		for _, rep := range orderPrimaryFirst(svc) {
+			if rep.Node == nil {
+				continue
+			}
+			mgr := o.managers[rep.Node.ID]
+			if mgr == nil {
+				continue
+			}
+			var value float64
+			var modeled bool
+			if members != nil {
+				value, modeled = mgr.ReportPoolDisk(rep, info, members, now)
+			} else {
+				value, modeled = mgr.ReportDisk(rep, info, now)
+			}
+			if !modeled {
+				continue // no model: the replica reports actual usage
+			}
+			if err := o.Cluster.ReportLoad(rep.ID, fabric.MetricDiskGB, value); err != nil {
+				continue
+			}
+			if rep.Role == fabric.Primary {
+				primaryLoad = value
+			}
+		}
+		if dt > 0 {
+			o.diskGBSeconds[svc.Name] += primaryLoad * dt
+		}
+	}
+}
+
+// reportMemory drives one memory-report round.
+func (o *Orchestrator) reportMemory(now time.Time) {
+	for _, svc := range o.Cluster.LiveServices() {
+		info, ok := o.dbinfo[svc.Name]
+		if !ok {
+			continue
+		}
+		for _, rep := range svc.Replicas {
+			if rep.Node == nil {
+				continue
+			}
+			mgr := o.managers[rep.Node.ID]
+			if mgr == nil {
+				continue
+			}
+			if value, modeled := mgr.ReportMemory(rep, info, now); modeled {
+				_ = o.Cluster.ReportLoad(rep.ID, fabric.MetricMemoryGB, value)
+			}
+			if value, modeled := mgr.ReportCPU(rep, info, svc.ReservedCoresPerReplica, now); modeled {
+				_ = o.Cluster.ReportLoad(rep.ID, fabric.MetricCPUUsedCores, value)
+			}
+		}
+	}
+}
+
+// orderPrimaryFirst returns a service's replicas with the primary first.
+func orderPrimaryFirst(svc *fabric.Service) []*fabric.Replica {
+	out := make([]*fabric.Replica, 0, len(svc.Replicas))
+	if p := svc.Primary(); p != nil {
+		out = append(out, p)
+	}
+	for _, r := range svc.Replicas {
+		if r.Role != fabric.Primary {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// BootstrapPopulation creates the scenario's initial population through
+// the control plane with growth frozen, seeding each database's initial
+// disk load. It returns the number of databases created per edition and
+// an error if any creation failed outright (redirects during bootstrap
+// indicate an over-packed initial population and are returned as errors).
+func (o *Orchestrator) BootstrapPopulation() (map[slo.Edition]int, error) {
+	pop := o.Scenario.Population
+	src := rng.New(pop.Seed)
+	created := make(map[slo.Edition]int)
+	for _, e := range slo.Editions() {
+		mix := pop.SLOMix[e]
+		if len(mix) == 0 && pop.Counts[e] > 0 {
+			return created, fmt.Errorf("core: no SLO mix for %s", e)
+		}
+		weights := make([]float64, len(mix))
+		for i, sw := range mix {
+			weights[i] = sw.Weight
+		}
+		// Initial disk loads are sampled stratified: one draw per
+		// equal-probability slice of the configured range, assigned in
+		// shuffled order. A plain i.i.d. sample of only ~33 draws from a
+		// 1 TB-wide uniform would move the cluster's starting disk
+		// utilization by several percent between seeds, but the paper's
+		// protocol holds the starting state constant across experiments
+		// (Table 3 reports 77% for every density level).
+		n := pop.Counts[e]
+		diskVals := make([]float64, n)
+		if bin, ok := pop.InitialDiskGB[e]; ok && n > 0 {
+			for i := 0; i < n; i++ {
+				if bin.HiGB > bin.LoGB {
+					diskVals[i] = bin.LoGB + (bin.HiGB-bin.LoGB)*(float64(i)+src.Float64())/float64(n)
+				} else {
+					diskVals[i] = bin.LoGB
+				}
+			}
+			src.Shuffle(n, func(i, j int) { diskVals[i], diskVals[j] = diskVals[j], diskVals[i] })
+		}
+		for i := 0; i < n; i++ {
+			sloName := mix[src.Choice(weights)].Name
+			sl, _ := o.Scenario.Catalog.Lookup(sloName)
+			db := fmt.Sprintf("init-%s-%04d", editionSlug(e), i)
+			initial := diskVals[i]
+			if initial > sl.MaxDiskGB {
+				initial = sl.MaxDiskGB
+			}
+			svc, err := o.Control.CreateDatabaseSeeded(db, sloName, initial)
+			if err != nil {
+				return created, fmt.Errorf("core: bootstrap create %s: %w", db, err)
+			}
+			o.registerDB(svc, sl)
+			o.seedInitialLoad(svc, sl, initial)
+			created[e]++
+		}
+	}
+	return created, nil
+}
+
+func editionSlug(e slo.Edition) string {
+	if e == slo.PremiumBC {
+		return "bc"
+	}
+	return "gp"
+}
+
+// poolMemberInfos builds the per-member metadata a pool's disk report
+// needs.
+func (o *Orchestrator) poolMemberInfos(pool string) []rgmanager.DBInfo {
+	p, ok := o.Pools.Pool(pool)
+	if !ok {
+		return []rgmanager.DBInfo{}
+	}
+	edition := slo.StandardGP
+	if info, ok := o.dbinfo[pool]; ok {
+		edition = info.Edition
+	}
+	members := p.Members()
+	out := make([]rgmanager.DBInfo, 0, len(members))
+	for _, m := range members {
+		out = append(out, rgmanager.DBInfo{
+			Name:      m.DB,
+			Edition:   edition,
+			Created:   m.Added,
+			MaxDiskGB: m.MaxDiskGB,
+		})
+	}
+	return out
+}
+
+// CreatePool provisions an elastic pool and registers its metadata.
+func (o *Orchestrator) CreatePool(name, sloName string) error {
+	p, err := o.Pools.CreatePool(name, sloName)
+	if err != nil {
+		return err
+	}
+	svc, _ := o.Cluster.Service(name)
+	o.registerDB(svc, p.SLO)
+	return nil
+}
+
+// AddPoolMember places a member database into a pool and seeds its
+// initial reported disk.
+func (o *Orchestrator) AddPoolMember(pool, db string, maxDiskGB, initialDiskGB float64) error {
+	if err := o.Pools.AddMember(pool, db, maxDiskGB, o.Clock.Now()); err != nil {
+		return err
+	}
+	svc, ok := o.Cluster.Service(pool)
+	if !ok || !svc.Alive() {
+		return fmt.Errorf("core: pool service %s missing", pool)
+	}
+	poolInfo := o.dbinfo[pool]
+	member := rgmanager.DBInfo{Name: db, Edition: poolInfo.Edition, Created: o.Clock.Now(), MaxDiskGB: maxDiskGB}
+	if initialDiskGB > maxDiskGB && maxDiskGB > 0 {
+		initialDiskGB = maxDiskGB
+	}
+	for _, rep := range svc.Replicas {
+		if rep.Node == nil {
+			continue
+		}
+		if mgr, ok := o.managers[rep.Node.ID]; ok {
+			mgr.SeedMemberLoad(rep, poolInfo, member, initialDiskGB)
+		}
+	}
+	return nil
+}
+
+// RemovePoolMember drops a member database from its pool and clears its
+// persisted state.
+func (o *Orchestrator) RemovePoolMember(pool, db string) error {
+	if err := o.Pools.RemoveMember(pool, db); err != nil {
+		return err
+	}
+	rgmanager.ClearPersisted(o.Cluster.Naming(), db)
+	return nil
+}
+
+// ScaleDatabase applies a customer SLO change and records the §5.4
+// scale-up latency in telemetry.
+func (o *Orchestrator) ScaleDatabase(db, newSLOName string) (fabric.ResizeOutcome, error) {
+	outcome, next, err := o.Control.ScaleDatabase(db, newSLOName)
+	if err != nil {
+		return outcome, err
+	}
+	info := o.dbinfo[db]
+	info.MaxDiskGB = next.MaxDiskGB
+	info.MaxMemoryGB = next.MemoryGB
+	o.dbinfo[db] = info
+	o.Recorder.RecordScale(db, outcome.OldCores, outcome.NewCores, outcome.Moves, outcome.Latency)
+	return outcome, nil
+}
+
+// poolOps adapts the orchestrator to the population manager's pool
+// surface.
+type poolOps struct{ o *Orchestrator }
+
+func (p poolOps) EnsurePoolWithRoom(e slo.Edition, sloName string) (string, error) {
+	if name := p.o.Pools.PoolWithRoom(e); name != "" {
+		return name, nil
+	}
+	name := p.o.Pools.NextPoolName(e)
+	if err := p.o.CreatePool(name, sloName); err != nil {
+		return "", err
+	}
+	return name, nil
+}
+
+func (p poolOps) AddMember(pool, db string, maxDiskGB, initialDiskGB float64) error {
+	return p.o.AddPoolMember(pool, db, maxDiskGB, initialDiskGB)
+}
+
+func (p poolOps) Members(e slo.Edition) []population.MemberRef {
+	refs := p.o.Pools.MembersByEdition(e)
+	out := make([]population.MemberRef, len(refs))
+	for i, r := range refs {
+		out[i] = population.MemberRef{Pool: r.Pool, DB: r.DB}
+	}
+	return out
+}
+
+func (p poolOps) RemoveMember(pool, db string) error { return p.o.RemovePoolMember(pool, db) }

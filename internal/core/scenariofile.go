@@ -1,0 +1,106 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"toto/internal/models"
+	"toto/internal/slo"
+)
+
+// ScenarioFile is the declarative JSON scenario schema consumed by
+// cmd/totosim — the paper's "declarative benchmark submission" (§1) for
+// operators who drive runs from files rather than Go code. All fields are
+// optional; zero values fall back to the paper's defaults.
+type ScenarioFile struct {
+	Name           string  `json:"name"`
+	Nodes          int     `json:"nodes"`
+	Density        float64 `json:"density"`
+	Days           float64 `json:"days"`
+	BootstrapHours float64 `json:"bootstrapHours"`
+	Population     struct {
+		PremiumBC  int `json:"premiumBC"`
+		StandardGP int `json:"standardGP"`
+	} `json:"population"`
+	Seeds struct {
+		Population uint64 `json:"population"`
+		Models     uint64 `json:"models"`
+		PLB        uint64 `json:"plb"`
+		Bootstrap  uint64 `json:"bootstrap"`
+	} `json:"seeds"`
+	// ModelXML optionally names a model-XML file (as produced by
+	// tototrain); empty means the default trained models.
+	ModelXML string `json:"modelXML"`
+	// UpgradeStartHours optionally schedules a rolling maintenance
+	// upgrade this many hours into the measured window.
+	UpgradeStartHours   float64 `json:"upgradeStartHours"`
+	UpgradePerNodeHours float64 `json:"upgradePerNodeHours"`
+}
+
+// ParseScenarioFile decodes the JSON schema. Unknown fields are rejected
+// so typos in operator files fail loudly instead of silently running the
+// default.
+func ParseScenarioFile(data []byte) (*ScenarioFile, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var sf ScenarioFile
+	if err := dec.Decode(&sf); err != nil {
+		return nil, fmt.Errorf("core: parse scenario file: %w", err)
+	}
+	if sf.Density < 0 || sf.Days < 0 || sf.BootstrapHours < 0 {
+		return nil, fmt.Errorf("core: scenario file has negative durations or density")
+	}
+	return &sf, nil
+}
+
+// Build materializes the file into a runnable Scenario. set is the model
+// set to use when the file does not name its own XML (the caller resolves
+// ModelXML; this keeps file I/O out of the core package).
+func (sf *ScenarioFile) Build(set *models.ModelSet) *Scenario {
+	name := sf.Name
+	if name == "" {
+		name = "scenario"
+	}
+	density := sf.Density
+	if density == 0 {
+		density = 1.1
+	}
+	days := sf.Days
+	if days == 0 {
+		days = 2
+	}
+	bootstrapHours := sf.BootstrapHours
+	if bootstrapHours == 0 {
+		bootstrapHours = 6
+	}
+	seeds := Seeds{
+		Population: sf.Seeds.Population,
+		Models:     sf.Seeds.Models,
+		PLB:        sf.Seeds.PLB,
+		Bootstrap:  sf.Seeds.Bootstrap,
+	}
+	if seeds == (Seeds{}) {
+		seeds = Seeds{Population: 101, Models: 202, PLB: 303, Bootstrap: 404}
+	}
+	sc := DefaultScenario(name, density, set, seeds)
+	sc.Duration = time.Duration(days * 24 * float64(time.Hour))
+	sc.BootstrapDuration = time.Duration(bootstrapHours * float64(time.Hour))
+	if sf.Nodes > 0 {
+		sc.Nodes = sf.Nodes
+	}
+	if sf.Population.PremiumBC > 0 || sf.Population.StandardGP > 0 {
+		sc.Population.Counts = map[slo.Edition]int{
+			slo.PremiumBC:  sf.Population.PremiumBC,
+			slo.StandardGP: sf.Population.StandardGP,
+		}
+	}
+	if sf.UpgradeStartHours > 0 {
+		sc.UpgradeStart = time.Duration(sf.UpgradeStartHours * float64(time.Hour))
+		if sf.UpgradePerNodeHours > 0 {
+			sc.UpgradePerNode = time.Duration(sf.UpgradePerNodeHours * float64(time.Hour))
+		}
+	}
+	return sc
+}

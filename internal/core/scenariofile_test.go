@@ -1,0 +1,91 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"toto/internal/slo"
+)
+
+func TestParseScenarioFileDefaults(t *testing.T) {
+	sf, err := ParseScenarioFile([]byte(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := sf.Build(DefaultModels().Set)
+	if sc.Density != 1.1 || sc.Nodes != 14 {
+		t.Errorf("defaults: density=%v nodes=%d", sc.Density, sc.Nodes)
+	}
+	if sc.Duration != 48*time.Hour || sc.BootstrapDuration != 6*time.Hour {
+		t.Errorf("durations: %v, %v", sc.Duration, sc.BootstrapDuration)
+	}
+	if sc.Seeds.Population == 0 {
+		t.Error("default seeds not applied")
+	}
+	if err := sc.Validate(); err != nil {
+		t.Errorf("built scenario invalid: %v", err)
+	}
+}
+
+func TestParseScenarioFileFull(t *testing.T) {
+	data := []byte(`{
+		"name": "densify-120",
+		"nodes": 20,
+		"density": 1.2,
+		"days": 6,
+		"bootstrapHours": 12,
+		"population": {"premiumBC": 10, "standardGP": 50},
+		"seeds": {"population": 1, "models": 2, "plb": 3, "bootstrap": 4},
+		"upgradeStartHours": 24,
+		"upgradePerNodeHours": 0.5
+	}`)
+	sf, err := ParseScenarioFile(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := sf.Build(DefaultModels().Set)
+	if sc.Name != "densify-120" || sc.Nodes != 20 || sc.Density != 1.2 {
+		t.Errorf("scenario = %s/%d/%v", sc.Name, sc.Nodes, sc.Density)
+	}
+	if sc.Duration != 6*24*time.Hour || sc.BootstrapDuration != 12*time.Hour {
+		t.Errorf("durations = %v, %v", sc.Duration, sc.BootstrapDuration)
+	}
+	if sc.Population.Counts[slo.PremiumBC] != 10 || sc.Population.Counts[slo.StandardGP] != 50 {
+		t.Errorf("population = %v", sc.Population.Counts)
+	}
+	if sc.Seeds != (Seeds{Population: 1, Models: 2, PLB: 3, Bootstrap: 4}) {
+		t.Errorf("seeds = %+v", sc.Seeds)
+	}
+	if sc.UpgradeStart != 24*time.Hour || sc.UpgradePerNode != 30*time.Minute {
+		t.Errorf("upgrade = %v / %v", sc.UpgradeStart, sc.UpgradePerNode)
+	}
+}
+
+func TestParseScenarioFileRejectsTypos(t *testing.T) {
+	if _, err := ParseScenarioFile([]byte(`{"densty": 1.2}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+	if _, err := ParseScenarioFile([]byte(`not json`)); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := ParseScenarioFile([]byte(`{"days": -1}`)); err == nil {
+		t.Error("negative days accepted")
+	}
+}
+
+func TestScenarioFileRunsEndToEnd(t *testing.T) {
+	sf, err := ParseScenarioFile([]byte(`{
+		"name": "file-run", "density": 1.0, "days": 0.25, "bootstrapHours": 1,
+		"seeds": {"population": 5, "models": 6, "plb": 7, "bootstrap": 8}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(sf.Build(DefaultModels().Set))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scenario != "file-run" || res.Revenue.Adjusted <= 0 {
+		t.Errorf("result = %s, $%v", res.Scenario, res.Revenue.Adjusted)
+	}
+}

@@ -1,0 +1,453 @@
+package fabric
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"toto/internal/simclock"
+)
+
+// ErrInsufficientCores is returned by CreateService when the cluster
+// cannot reserve the requested cores on enough distinct nodes. The
+// control plane reacts by redirecting the creation to another tenant ring
+// (§5.3.1).
+var ErrInsufficientCores = errors.New("fabric: insufficient core capacity")
+
+// ErrServiceExists is returned when creating a service whose name is
+// already in use.
+var ErrServiceExists = errors.New("fabric: service already exists")
+
+// ErrNoSuchService is returned for operations on unknown services.
+var ErrNoSuchService = errors.New("fabric: no such service")
+
+// Config tunes the cluster and its PLB.
+type Config struct {
+	// ScanInterval is how often the PLB scans for capacity violations.
+	ScanInterval time.Duration
+	// Density scales the logical core capacity used for admission and
+	// placement. 1.0 is the conservative production default; 1.1 admits
+	// 10% more reserved cores than logical capacity (§5).
+	Density float64
+	// PLBSeed seeds the PLB's simulated-annealing randomness. The paper
+	// could not fix this seed across repeated experiments (§5.2); the
+	// experiment harness varies it deliberately.
+	PLBSeed uint64
+	// SAIterations bounds the simulated-annealing search per placement.
+	SAIterations int
+	// SAInitialTemp is the starting annealing temperature.
+	SAInitialTemp float64
+	// SACooling is the per-iteration geometric cooling factor in (0,1).
+	SACooling float64
+	// BuildRateGBPerSec is the data-copy throughput when rebuilding a
+	// local-store replica on a new node.
+	BuildRateGBPerSec float64
+	// PrimarySwapDowntime is the brief unavailability when a secondary is
+	// promoted during a multi-replica primary failover.
+	PrimarySwapDowntime time.Duration
+	// SingleReplicaMoveDowntime is the unavailability when a single-
+	// replica (remote-store) database is detached and reattached on a
+	// new node.
+	SingleReplicaMoveDowntime time.Duration
+	// MaxMovesPerViolation bounds how many replicas the PLB moves to fix
+	// one node's violation in one scan.
+	MaxMovesPerViolation int
+	// BalancingEnabled turns on proactive balancing moves when node disk
+	// utilization spread exceeds BalanceSpread.
+	BalancingEnabled bool
+	// BalanceSpread is the max-minus-min node disk utilization fraction
+	// that triggers a balancing move.
+	BalanceSpread float64
+	// GreedyPlacement disables simulated annealing and uses pure greedy
+	// least-loaded placement (for the ablation bench).
+	GreedyPlacement bool
+	// DegradationFactor converts time a primary replica spends on a node
+	// whose load exceeds logical capacity into customer-visible
+	// unavailability ("a database temporarily needing to wait for
+	// resources it has requested", §1): each violation scan adds
+	// ScanInterval*DegradationFactor of downtime to every database whose
+	// primary sits on the violating node. 0 disables the accounting.
+	DegradationFactor float64
+}
+
+// DefaultConfig returns production-like PLB settings.
+func DefaultConfig() Config {
+	return Config{
+		ScanInterval:              5 * time.Minute,
+		Density:                   1.0,
+		PLBSeed:                   1,
+		SAIterations:              400,
+		SAInitialTemp:             1.0,
+		SACooling:                 0.98,
+		BuildRateGBPerSec:         0.25, // ~0.9 TB/hour replica build
+		PrimarySwapDowntime:       15 * time.Second,
+		SingleReplicaMoveDowntime: 75 * time.Second,
+		MaxMovesPerViolation:      4,
+		DegradationFactor:         0.20,
+		BalancingEnabled:          false,
+		BalanceSpread:             0.35,
+	}
+}
+
+// Cluster is a single tenant ring: a fixed set of nodes, the services
+// placed on them, the Naming Service metastore, and the PLB.
+type Cluster struct {
+	clock     *simclock.Clock
+	cfg       Config
+	nodes     []*Node
+	services  map[string]*Service
+	naming    *NamingService
+	plb       *plb
+	listeners []Listener
+	scan      *simclock.Ticker
+
+	// counters for telemetry convenience
+	failoverEvents int
+	balanceMoves   int
+}
+
+// NewCluster builds a cluster of nodeCount identical nodes with the given
+// per-node logical capacities.
+func NewCluster(clock *simclock.Clock, nodeCount int, nodeCapacity map[MetricName]float64, cfg Config) *Cluster {
+	if nodeCount < 1 {
+		panic("fabric: cluster needs at least one node")
+	}
+	if cfg.Density <= 0 {
+		panic("fabric: non-positive density")
+	}
+	c := &Cluster{
+		clock:    clock,
+		cfg:      cfg,
+		services: make(map[string]*Service),
+		naming:   NewNamingService(),
+	}
+	for i := 0; i < nodeCount; i++ {
+		c.nodes = append(c.nodes, newNode(fmt.Sprintf("node-%d", i), nodeCapacity))
+	}
+	c.plb = newPLB(c, cfg)
+	return c
+}
+
+// Start begins the PLB's periodic violation scan on the cluster's clock.
+func (c *Cluster) Start() {
+	if c.scan != nil {
+		return
+	}
+	c.scan = c.clock.Every(c.cfg.ScanInterval, func(now time.Time) {
+		c.plb.scan(now)
+	})
+}
+
+// Stop halts the PLB scan.
+func (c *Cluster) Stop() {
+	if c.scan != nil {
+		c.scan.Stop()
+		c.scan = nil
+	}
+}
+
+// Clock returns the cluster's simulation clock.
+func (c *Cluster) Clock() *simclock.Clock { return c.clock }
+
+// Naming returns the cluster's Naming Service.
+func (c *Cluster) Naming() *NamingService { return c.naming }
+
+// Config returns the cluster configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// SetDensity changes the density factor for subsequent admissions and
+// placements.
+func (c *Cluster) SetDensity(d float64) {
+	if d <= 0 {
+		panic("fabric: non-positive density")
+	}
+	c.cfg.Density = d
+	c.plb.cfg.Density = d
+}
+
+// Density returns the current density factor.
+func (c *Cluster) Density() float64 { return c.cfg.Density }
+
+// Nodes returns the cluster's nodes.
+func (c *Cluster) Nodes() []*Node { return c.nodes }
+
+// Subscribe registers a listener for cluster events.
+func (c *Cluster) Subscribe(l Listener) { c.listeners = append(c.listeners, l) }
+
+func (c *Cluster) emit(ev Event) {
+	for _, l := range c.listeners {
+		l(ev)
+	}
+}
+
+// CoreCapacity returns the cluster-wide logical core capacity scaled by
+// the density factor.
+func (c *Cluster) CoreCapacity() float64 {
+	total := 0.0
+	for _, n := range c.nodes {
+		total += n.Capacity[MetricCores] * c.cfg.Density
+	}
+	return total
+}
+
+// ReservedCores returns the cluster-wide reserved cores of live services.
+func (c *Cluster) ReservedCores() float64 {
+	total := 0.0
+	for _, n := range c.nodes {
+		total += n.Load(MetricCores)
+	}
+	return total
+}
+
+// FreeCores returns the remaining reservable cores at the current density.
+func (c *Cluster) FreeCores() float64 { return c.CoreCapacity() - c.ReservedCores() }
+
+// DiskUsage returns the cluster-wide reported disk load in GB.
+func (c *Cluster) DiskUsage() float64 {
+	total := 0.0
+	for _, n := range c.nodes {
+		total += n.Load(MetricDiskGB)
+	}
+	return total
+}
+
+// DiskCapacity returns the cluster-wide logical disk capacity in GB.
+func (c *Cluster) DiskCapacity() float64 {
+	total := 0.0
+	for _, n := range c.nodes {
+		total += n.Capacity[MetricDiskGB]
+	}
+	return total
+}
+
+// Service returns the live or dropped service with the given name.
+func (c *Cluster) Service(name string) (*Service, bool) {
+	s, ok := c.services[name]
+	return s, ok
+}
+
+// Services returns all services (live and dropped) sorted by name.
+func (c *Cluster) Services() []*Service {
+	out := make([]*Service, 0, len(c.services))
+	for _, s := range c.services {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// LiveServices returns the services that have not been dropped, sorted by
+// name.
+func (c *Cluster) LiveServices() []*Service {
+	var out []*Service
+	for _, s := range c.Services() {
+		if s.Alive() {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// FailoverCount returns the total number of failover movements so far.
+func (c *Cluster) FailoverCount() int { return c.failoverEvents }
+
+// BalanceMoveCount returns the total number of balancing movements so far.
+func (c *Cluster) BalanceMoveCount() int { return c.balanceMoves }
+
+// CreateService places a new service with replicaCount replicas, each
+// reserving reservedCores against node logical core capacity (scaled by
+// density). Replicas of one service are placed on distinct nodes. On
+// success the service is live and an EventServiceCreated fires; if the
+// cluster cannot satisfy the core reservation, ErrInsufficientCores is
+// returned and nothing changes.
+func (c *Cluster) CreateService(name string, replicaCount int, reservedCores float64, labels map[string]string) (*Service, error) {
+	return c.CreateServiceWithLoads(name, replicaCount, reservedCores, labels, nil)
+}
+
+// CreateServiceWithLoads is CreateService with known initial dynamic
+// loads per replica (e.g. the seeded disk usage of a bootstrapped
+// database, §5.2). The PLB sees these loads when choosing nodes, so a
+// database restored with a terabyte of data is placed where that terabyte
+// fits. Admission is still gated on cores only — disk pressure is
+// relieved post-hoc via failovers, exactly the behaviour the paper
+// studies.
+func (c *Cluster) CreateServiceWithLoads(name string, replicaCount int, reservedCores float64, labels map[string]string, loads map[MetricName]float64) (*Service, error) {
+	if existing, ok := c.services[name]; ok && existing.Alive() {
+		return nil, fmt.Errorf("%w: %s", ErrServiceExists, name)
+	}
+	if replicaCount > len(c.nodes) {
+		return nil, fmt.Errorf("%w: %d replicas > %d nodes", ErrInsufficientCores, replicaCount, len(c.nodes))
+	}
+	svc := newService(name, replicaCount, reservedCores, labels, c.clock.Now())
+	for _, r := range svc.Replicas {
+		for m, v := range loads {
+			if m != MetricCores && v > 0 {
+				r.Loads[m] = v
+			}
+		}
+	}
+	placement, err := c.plb.place(svc)
+	if err != nil {
+		return nil, err
+	}
+	for i, node := range placement {
+		node.attach(svc.Replicas[i])
+	}
+	c.services[name] = svc
+	c.emit(Event{Kind: EventServiceCreated, Time: c.clock.Now(), Service: svc})
+	return svc, nil
+}
+
+// DropService removes a service and frees its resources.
+func (c *Cluster) DropService(name string) error {
+	svc, ok := c.services[name]
+	if !ok || !svc.Alive() {
+		return fmt.Errorf("%w: %s", ErrNoSuchService, name)
+	}
+	for _, r := range svc.Replicas {
+		if r.Node != nil {
+			r.Node.detach(r)
+		}
+	}
+	svc.Dropped = c.clock.Now()
+	c.emit(Event{Kind: EventServiceDropped, Time: c.clock.Now(), Service: svc})
+	return nil
+}
+
+// ReportLoad records replica id's current value for metric m, as reported
+// through RgManager (§3.2). Reporting for a dropped or unknown replica is
+// an error.
+func (c *Cluster) ReportLoad(id ReplicaID, m MetricName, value float64) error {
+	r, err := c.replica(id)
+	if err != nil {
+		return err
+	}
+	if m == MetricCores {
+		return errors.New("fabric: core reservation is static and cannot be reported")
+	}
+	if value < 0 {
+		return fmt.Errorf("fabric: negative load %f for %s", value, m)
+	}
+	if r.Node != nil {
+		r.Node.applyLoadDelta(m, value-r.Loads[m])
+	}
+	r.Loads[m] = value
+	return nil
+}
+
+func (c *Cluster) replica(id ReplicaID) (*Replica, error) {
+	svc, ok := c.services[id.Service]
+	if !ok || !svc.Alive() {
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchService, id.Service)
+	}
+	if id.Index < 0 || id.Index >= len(svc.Replicas) {
+		return nil, fmt.Errorf("fabric: replica index %d out of range for %s", id.Index, id.Service)
+	}
+	return svc.Replicas[id.Index], nil
+}
+
+// ForceMove relocates a replica to a named node with full failover
+// bookkeeping — the equivalent of Service Fabric's administrative
+// Move-Replica commands. The move is refused if the target already hosts
+// a sibling replica.
+func (c *Cluster) ForceMove(id ReplicaID, targetNode string) error {
+	r, err := c.replica(id)
+	if err != nil {
+		return err
+	}
+	var target *Node
+	for _, n := range c.nodes {
+		if n.ID == targetNode {
+			target = n
+			break
+		}
+	}
+	if target == nil {
+		return fmt.Errorf("fabric: no such node %q", targetNode)
+	}
+	if target == r.Node {
+		return fmt.Errorf("fabric: replica %s already on %s", id, targetNode)
+	}
+	for _, other := range r.service.Replicas {
+		if other != r && other.Node == target {
+			return fmt.Errorf("fabric: node %s already hosts a replica of %s", targetNode, id.Service)
+		}
+	}
+	c.moveReplica(r, target, MetricDiskGB, EventFailover)
+	return nil
+}
+
+// moveReplica relocates r from its current node to target, performing the
+// failover bookkeeping: role swap, downtime, build time, counters, and
+// event emission. kind selects failover vs balancing accounting.
+func (c *Cluster) moveReplica(r *Replica, target *Node, metric MetricName, kind EventKind) {
+	svc := r.service
+	from := r.Node
+	fromID := ""
+	if from != nil {
+		fromID = from.ID
+		from.detach(r)
+	}
+
+	movedDisk := r.Loads[MetricDiskGB]
+	var downtime time.Duration
+	if r.Role == Primary {
+		if svc.ReplicaCount > 1 {
+			// Promote a placed secondary; the moved replica rejoins as a
+			// secondary ("a secondary replica is becoming the primary",
+			// §3.1).
+			for _, other := range svc.Replicas {
+				if other != r && other.Role == Secondary && other.Node != nil {
+					other.Role = Primary
+					r.Role = Secondary
+					break
+				}
+			}
+			downtime = c.cfg.PrimarySwapDowntime
+		} else {
+			// Single-replica remote-store database: detach/reattach the
+			// remote storage on the new node.
+			downtime = c.cfg.SingleReplicaMoveDowntime
+		}
+	}
+
+	// Local-store replicas physically copy their data to the new node;
+	// remote-store replicas only rebuild tempDB state, which is
+	// effectively instant at this granularity.
+	var build time.Duration
+	if svc.ReplicaCount > 1 && c.cfg.BuildRateGBPerSec > 0 {
+		build = time.Duration(movedDisk / c.cfg.BuildRateGBPerSec * float64(time.Second))
+	}
+
+	// Dynamic loads reset on the new node: the fresh replica reports its
+	// own state at the next interval (persisted metrics are restored from
+	// the Naming Service by RgManager, non-persisted ones restart, §3.3.2).
+	r.Loads[MetricDiskGB] = 0
+	r.Loads[MetricMemoryGB] = 0
+	r.Incarnation++
+	target.attach(r)
+
+	svc.Downtime += downtime
+	svc.FailoverCount++
+	svc.FailedOverCores += svc.ReservedCoresPerReplica
+	if kind == EventFailover {
+		c.failoverEvents++
+	} else {
+		c.balanceMoves++
+	}
+
+	c.emit(Event{
+		Kind:          kind,
+		Time:          c.clock.Now(),
+		Service:       svc,
+		Replica:       r.ID,
+		From:          fromID,
+		To:            target.ID,
+		Metric:        metric,
+		MovedCores:    svc.ReservedCoresPerReplica,
+		MovedDiskGB:   movedDisk,
+		BuildDuration: build,
+		Downtime:      downtime,
+	})
+}

@@ -1,0 +1,331 @@
+package fabric
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"toto/internal/simclock"
+)
+
+var testStart = time.Date(2020, time.June, 1, 0, 0, 0, 0, time.UTC)
+
+func testCapacity() map[MetricName]float64 {
+	return map[MetricName]float64{
+		MetricCores:    64,
+		MetricDiskGB:   8192,
+		MetricMemoryGB: 512,
+	}
+}
+
+func newTestCluster(t *testing.T, nodes int, density float64) *Cluster {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Density = density
+	return NewCluster(simclock.New(testStart), nodes, testCapacity(), cfg)
+}
+
+func TestCreateSingleReplicaService(t *testing.T) {
+	c := newTestCluster(t, 4, 1.0)
+	svc, err := c.CreateService("db1", 1, 4, map[string]string{"edition": "Standard/GP"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(svc.Replicas) != 1 {
+		t.Fatalf("replicas = %d", len(svc.Replicas))
+	}
+	if svc.Replicas[0].Role != Primary {
+		t.Error("single replica is not primary")
+	}
+	if svc.Replicas[0].Node == nil {
+		t.Fatal("replica not placed")
+	}
+	if c.ReservedCores() != 4 {
+		t.Errorf("reserved = %v", c.ReservedCores())
+	}
+}
+
+func TestMultiReplicaAntiAffinity(t *testing.T) {
+	c := newTestCluster(t, 6, 1.0)
+	svc, err := c.CreateService("bc1", 4, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, r := range svc.Replicas {
+		if r.Node == nil {
+			t.Fatal("unplaced replica")
+		}
+		if seen[r.Node.ID] {
+			t.Fatalf("two replicas on node %s", r.Node.ID)
+		}
+		seen[r.Node.ID] = true
+	}
+	if svc.Primary() == nil {
+		t.Fatal("no primary")
+	}
+	if svc.TotalReservedCores() != 32 {
+		t.Errorf("total cores = %v", svc.TotalReservedCores())
+	}
+}
+
+func TestInsufficientCoresRedirects(t *testing.T) {
+	c := newTestCluster(t, 2, 1.0) // 128 cores total
+	if _, err := c.CreateService("big", 1, 65, nil); !errors.Is(err, ErrInsufficientCores) {
+		t.Fatalf("err = %v, want ErrInsufficientCores", err)
+	}
+	// A 4-replica service cannot fit on 2 nodes regardless of cores.
+	if _, err := c.CreateService("bc", 4, 1, nil); !errors.Is(err, ErrInsufficientCores) {
+		t.Fatalf("err = %v", err)
+	}
+	// Nothing was committed.
+	if c.ReservedCores() != 0 {
+		t.Errorf("reserved = %v after failed creates", c.ReservedCores())
+	}
+}
+
+func TestDensityAdmitsMoreCores(t *testing.T) {
+	c := newTestCluster(t, 1, 1.0)
+	if _, err := c.CreateService("a", 1, 64, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateService("b", 1, 2, nil); err == nil {
+		t.Fatal("over-capacity create succeeded at 100% density")
+	}
+	c2 := newTestCluster(t, 1, 1.25)
+	if _, err := c2.CreateService("a", 1, 64, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.CreateService("b", 1, 16, nil); err != nil {
+		t.Fatalf("125%% density rejected a fitting create: %v", err)
+	}
+}
+
+func TestDuplicateName(t *testing.T) {
+	c := newTestCluster(t, 2, 1.0)
+	if _, err := c.CreateService("x", 1, 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateService("x", 1, 1, nil); !errors.Is(err, ErrServiceExists) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDropServiceFreesResources(t *testing.T) {
+	c := newTestCluster(t, 2, 1.0)
+	svc, _ := c.CreateService("x", 1, 8, nil)
+	if err := c.ReportLoad(svc.Replicas[0].ID, MetricDiskGB, 100); err != nil {
+		t.Fatal(err)
+	}
+	if c.DiskUsage() != 100 {
+		t.Errorf("disk = %v", c.DiskUsage())
+	}
+	if err := c.DropService("x"); err != nil {
+		t.Fatal(err)
+	}
+	if c.ReservedCores() != 0 || c.DiskUsage() != 0 {
+		t.Error("drop did not free resources")
+	}
+	if svc.Alive() {
+		t.Error("dropped service still alive")
+	}
+	if err := c.DropService("x"); !errors.Is(err, ErrNoSuchService) {
+		t.Errorf("double drop err = %v", err)
+	}
+	// The name is reusable after a drop.
+	if _, err := c.CreateService("x", 1, 8, nil); err != nil {
+		t.Errorf("recreate after drop: %v", err)
+	}
+}
+
+func TestReportLoadValidation(t *testing.T) {
+	c := newTestCluster(t, 2, 1.0)
+	svc, _ := c.CreateService("x", 1, 2, nil)
+	id := svc.Replicas[0].ID
+	if err := c.ReportLoad(id, MetricCores, 5); err == nil {
+		t.Error("reporting the static cores metric succeeded")
+	}
+	if err := c.ReportLoad(id, MetricDiskGB, -1); err == nil {
+		t.Error("negative load accepted")
+	}
+	if err := c.ReportLoad(ReplicaID{Service: "nope"}, MetricDiskGB, 1); err == nil {
+		t.Error("unknown service accepted")
+	}
+	if err := c.ReportLoad(ReplicaID{Service: "x", Index: 9}, MetricDiskGB, 1); err == nil {
+		t.Error("out-of-range replica accepted")
+	}
+}
+
+func TestCreateServiceWithLoadsVisibleToPlacement(t *testing.T) {
+	c := newTestCluster(t, 2, 1.0)
+	// Fill node disk asymmetrically.
+	a, _ := c.CreateService("fill", 1, 1, nil)
+	c.ReportLoad(a.Replicas[0].ID, MetricDiskGB, 8000)
+	fullNode := a.Replicas[0].Node
+
+	svc, err := c.CreateServiceWithLoads("big", 1, 1, nil, map[MetricName]float64{MetricDiskGB: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if svc.Replicas[0].Node == fullNode {
+		t.Error("disk-aware placement chose the full node")
+	}
+	if svc.Replicas[0].Loads[MetricDiskGB] != 3000 {
+		t.Error("initial load not set on replica")
+	}
+}
+
+func TestDiskViolationTriggersFailover(t *testing.T) {
+	c := newTestCluster(t, 3, 1.0)
+	c.Start()
+	defer c.Stop()
+
+	var events []Event
+	c.Subscribe(func(ev Event) { events = append(events, ev) })
+
+	a, _ := c.CreateService("a", 1, 2, nil)
+	b, _ := c.CreateService("b", 1, 2, nil)
+	// Force both onto the same node by reporting through the same node's
+	// replicas; instead directly overload a's node.
+	node := a.Replicas[0].Node
+	c.ReportLoad(a.Replicas[0].ID, MetricDiskGB, 8000)
+	var other *Service
+	if b.Replicas[0].Node == node {
+		other = b
+	} else {
+		other, _ = c.CreateService("c", 1, 2, nil)
+		for other.Replicas[0].Node != node {
+			// keep creating until one lands on the loaded node
+			name := other.Name + "x"
+			other, _ = c.CreateService(name, 1, 2, nil)
+		}
+	}
+	c.ReportLoad(other.Replicas[0].ID, MetricDiskGB, 500) // 8500 > 8192
+
+	c.Clock().RunUntil(testStart.Add(10 * time.Minute))
+
+	if c.FailoverCount() == 0 {
+		t.Fatal("no failover despite disk violation")
+	}
+	// The moved replica must have left the overloaded node and the
+	// violation must be resolved.
+	if node.Load(MetricDiskGB) > 8192 {
+		t.Errorf("violation not fixed: %v", node.Load(MetricDiskGB))
+	}
+	var found bool
+	for _, ev := range events {
+		if ev.Kind == EventFailover {
+			found = true
+			if ev.From != node.ID {
+				t.Errorf("failover from %s, want %s", ev.From, node.ID)
+			}
+		}
+	}
+	if !found {
+		t.Error("no failover event emitted")
+	}
+}
+
+func TestFailoverPromotesSecondary(t *testing.T) {
+	c := newTestCluster(t, 5, 1.0)
+	svc, _ := c.CreateService("bc", 4, 2, nil)
+	primary := svc.Primary()
+	target := (*Node)(nil)
+	for _, n := range c.Nodes() {
+		hosts := false
+		for _, r := range svc.Replicas {
+			if r.Node == n {
+				hosts = true
+			}
+		}
+		if !hosts {
+			target = n
+			break
+		}
+	}
+	if target == nil {
+		t.Fatal("no free node")
+	}
+	c.moveReplica(primary, target, MetricDiskGB, EventFailover)
+
+	if svc.Primary() == nil {
+		t.Fatal("no primary after failover")
+	}
+	if svc.Primary() == primary {
+		t.Error("moved replica is still primary; a secondary should have been promoted")
+	}
+	if primary.Role != Secondary {
+		t.Error("moved ex-primary not demoted")
+	}
+	if svc.Downtime == 0 {
+		t.Error("primary failover accrued no downtime")
+	}
+	if svc.FailoverCount != 1 || svc.FailedOverCores != 2 {
+		t.Errorf("failover accounting: count=%d cores=%v", svc.FailoverCount, svc.FailedOverCores)
+	}
+	if primary.Incarnation != 1 {
+		t.Errorf("incarnation = %d", primary.Incarnation)
+	}
+	if primary.Loads[MetricDiskGB] != 0 || primary.Loads[MetricMemoryGB] != 0 {
+		t.Error("dynamic loads not reset on move")
+	}
+}
+
+func TestSingleReplicaMoveDowntime(t *testing.T) {
+	c := newTestCluster(t, 2, 1.0)
+	svc, _ := c.CreateService("gp", 1, 2, nil)
+	rep := svc.Replicas[0]
+	var target *Node
+	for _, n := range c.Nodes() {
+		if n != rep.Node {
+			target = n
+		}
+	}
+	c.moveReplica(rep, target, MetricDiskGB, EventFailover)
+	if svc.Downtime != c.Config().SingleReplicaMoveDowntime {
+		t.Errorf("downtime = %v, want %v", svc.Downtime, c.Config().SingleReplicaMoveDowntime)
+	}
+	if rep.Role != Primary {
+		t.Error("single replica must stay primary")
+	}
+}
+
+func TestLifetime(t *testing.T) {
+	c := newTestCluster(t, 2, 1.0)
+	svc, _ := c.CreateService("x", 1, 2, nil)
+	c.Clock().RunUntil(testStart.Add(2 * time.Hour))
+	if lt := svc.Lifetime(c.Clock().Now()); lt != 2*time.Hour {
+		t.Errorf("lifetime = %v", lt)
+	}
+	c.DropService("x")
+	c.Clock().RunUntil(testStart.Add(5 * time.Hour))
+	if lt := svc.Lifetime(c.Clock().Now()); lt != 2*time.Hour {
+		t.Errorf("lifetime after drop = %v", lt)
+	}
+}
+
+func TestClusterAccessors(t *testing.T) {
+	c := newTestCluster(t, 3, 1.1)
+	if got := c.CoreCapacity(); got < 211.1 || got > 211.3 {
+		t.Errorf("core capacity = %v, want ~211.2", got)
+	}
+	if c.DiskCapacity() != 3*8192 {
+		t.Errorf("disk capacity = %v", c.DiskCapacity())
+	}
+	c.CreateService("a", 1, 10, nil)
+	c.CreateService("b", 1, 10, nil)
+	c.DropService("a")
+	if got := len(c.LiveServices()); got != 1 {
+		t.Errorf("live services = %d", got)
+	}
+	if got := len(c.Services()); got != 2 {
+		t.Errorf("all services = %d", got)
+	}
+	if c.FreeCores() != c.CoreCapacity()-10 {
+		t.Errorf("free cores = %v", c.FreeCores())
+	}
+	c.SetDensity(1.3)
+	if c.Density() != 1.3 {
+		t.Error("SetDensity")
+	}
+}

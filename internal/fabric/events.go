@@ -1,0 +1,66 @@
+package fabric
+
+import "time"
+
+// EventKind classifies cluster events.
+type EventKind int
+
+const (
+	// EventServiceCreated fires after a service is successfully placed.
+	EventServiceCreated EventKind = iota
+	// EventServiceDropped fires after a service is removed.
+	EventServiceDropped
+	// EventFailover fires for every replica movement forced by a
+	// capacity violation — the paper's primary QoS KPI (§5.3.3).
+	EventFailover
+	// EventBalanceMove fires for proactive load-balancing movements (not
+	// counted as failovers in the KPI, tracked separately).
+	EventBalanceMove
+)
+
+// String returns the event kind name.
+func (k EventKind) String() string {
+	switch k {
+	case EventServiceCreated:
+		return "service-created"
+	case EventServiceDropped:
+		return "service-dropped"
+	case EventFailover:
+		return "failover"
+	case EventBalanceMove:
+		return "balance-move"
+	case EventNodeDown:
+		return "node-down"
+	case EventNodeUp:
+		return "node-up"
+	default:
+		return "unknown"
+	}
+}
+
+// Event describes one cluster state change, delivered to listeners.
+type Event struct {
+	Kind    EventKind
+	Time    time.Time
+	Service *Service
+	// Replica is set for movement events.
+	Replica ReplicaID
+	// From and To are node IDs for movement events.
+	From, To string
+	// Metric is the metric whose capacity violation forced a failover.
+	Metric MetricName
+	// MovedCores is the core reservation of the moved replica.
+	MovedCores float64
+	// MovedDiskGB is the disk load of the moved replica at move time,
+	// which determines the data-copy cost for local-store databases.
+	MovedDiskGB float64
+	// BuildDuration is how long rebuilding the replica takes on the
+	// target (physical data copy for local-store; near-instant
+	// detach/reattach for remote-store).
+	BuildDuration time.Duration
+	// Downtime is the customer-visible unavailability the move caused.
+	Downtime time.Duration
+}
+
+// Listener receives cluster events synchronously, in order.
+type Listener func(Event)

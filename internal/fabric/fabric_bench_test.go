@@ -1,0 +1,133 @@
+package fabric
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"toto/internal/simclock"
+)
+
+// BenchmarkPlacement measures one simulated-annealing placement of a
+// 4-replica service on a half-full 14-node cluster — the PLB's hot path.
+func BenchmarkPlacement(b *testing.B) {
+	cfg := DefaultConfig()
+	c := NewCluster(simclock.New(testStart), 14, testCapacity(), cfg)
+	for i := 0; i < 100; i++ {
+		if _, err := c.CreateService(fmt.Sprintf("seed-%d", i), 1, 4, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		name := fmt.Sprintf("bench-%d", i)
+		if _, err := c.CreateService(name, 4, 2, nil); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		c.DropService(name)
+		b.StartTimer()
+	}
+}
+
+// BenchmarkGreedyPlacement is the ablation baseline for BenchmarkPlacement.
+func BenchmarkGreedyPlacement(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.GreedyPlacement = true
+	c := NewCluster(simclock.New(testStart), 14, testCapacity(), cfg)
+	for i := 0; i < 100; i++ {
+		if _, err := c.CreateService(fmt.Sprintf("seed-%d", i), 1, 4, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		name := fmt.Sprintf("bench-%d", i)
+		if _, err := c.CreateService(name, 4, 2, nil); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		c.DropService(name)
+		b.StartTimer()
+	}
+}
+
+// BenchmarkPLBScan measures one violation-scan pass over a loaded
+// 14-node cluster with no violations (the steady-state cost paid every
+// 5 simulated minutes).
+func BenchmarkPLBScan(b *testing.B) {
+	cfg := DefaultConfig()
+	c := NewCluster(simclock.New(testStart), 14, testCapacity(), cfg)
+	for i := 0; i < 250; i++ {
+		svc, err := c.CreateService(fmt.Sprintf("db-%d", i), 1, 2, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c.ReportLoad(svc.Replicas[0].ID, MetricDiskGB, float64(i%100)*20)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.plb.scan(testStart)
+	}
+}
+
+// BenchmarkReportLoad measures the per-report bookkeeping cost — called
+// once per replica per 20 simulated minutes, the busiest call in a run.
+func BenchmarkReportLoad(b *testing.B) {
+	c := NewCluster(simclock.New(testStart), 4, testCapacity(), DefaultConfig())
+	svc, err := c.CreateService("db", 1, 2, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	id := svc.Replicas[0].ID
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.ReportLoad(id, MetricDiskGB, float64(i%5000)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNamingService measures the metastore round trip used by the
+// persisted-metric protocol (one read + one write per BC primary report).
+func BenchmarkNamingService(b *testing.B) {
+	n := NewNamingService()
+	payload := []byte("1234.5678")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Put("toto/load/db/diskGB", payload)
+		if _, _, ok := n.Get("toto/load/db/diskGB"); !ok {
+			b.Fatal("missing key")
+		}
+	}
+}
+
+// BenchmarkSimulatedDay measures a full simulated day on a churning
+// cluster: PLB scans plus hourly create/drop/report activity.
+func BenchmarkSimulatedDay(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		clock := simclock.New(testStart)
+		cfg := DefaultConfig()
+		c := NewCluster(clock, 14, testCapacity(), cfg)
+		c.Start()
+		for j := 0; j < 200; j++ {
+			c.CreateService(fmt.Sprintf("db-%d", j), 1, 2, nil)
+		}
+		hour := 0
+		clock.Every(time.Hour, func(now time.Time) {
+			hour++
+			c.CreateService(fmt.Sprintf("churn-%d-%d", i, hour), 1, 2, nil)
+			for _, svc := range c.LiveServices() {
+				c.ReportLoad(svc.Replicas[0].ID, MetricDiskGB, float64(hour)*3)
+			}
+		})
+		clock.RunUntil(testStart.Add(24 * time.Hour))
+		c.Stop()
+	}
+}

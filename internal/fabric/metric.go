@@ -1,0 +1,44 @@
+// Package fabric implements a Service-Fabric-style cluster orchestrator:
+// nodes, multi-replica services, dynamic load metrics with node-level
+// logical capacities, a Naming Service metastore, and a Placement and
+// Load Balancer (PLB) that places replicas with simulated annealing and
+// fixes capacity violations by failing replicas over to other nodes.
+//
+// It is the substrate the Toto benchmark framework drives (paper §3.1):
+// Toto does not simulate the orchestrator's decisions — it feeds fabricated
+// load reports into this real placement/balancing engine and measures how
+// the cluster reacts (movements, failovers, unavailability).
+package fabric
+
+// MetricName identifies a dynamic load metric reported to the PLB. A
+// metric "can be arbitrary and model anything, but usually they model
+// system resources such as CPU, memory, and disk" (§3.1).
+type MetricName string
+
+// The resource metrics Azure SQL DB reports (§2 "Resources").
+const (
+	// MetricCores is the CPU core reservation of a replica. It is set
+	// when the database is created (from its SLO) and is static.
+	MetricCores MetricName = "cores"
+	// MetricDiskGB is the local SSD consumption of a replica in GB. For
+	// local-store databases it covers data+log+tempDB; for remote-store
+	// databases only tempDB.
+	MetricDiskGB MetricName = "diskGB"
+	// MetricMemoryGB is the DRAM consumption of a replica in GB.
+	MetricMemoryGB MetricName = "memoryGB"
+)
+
+// MetricCPUUsedCores is the *observational* CPU-usage metric: actual
+// cores consumed, as opposed to MetricCores' static reservation. The
+// paper leaves CPU usage models as future work (§5.5) and its PLB does
+// not enforce a CPU-usage capacity, so this metric is reported and
+// recorded but excluded from AllMetrics — it never drives placement or
+// violations.
+const MetricCPUUsedCores MetricName = "cpuUsedCores"
+
+// AllMetrics lists the capacity-enforced metrics a node tracks, in a
+// stable order. MetricCPUUsedCores is deliberately absent (observational
+// only).
+func AllMetrics() []MetricName {
+	return []MetricName{MetricCores, MetricDiskGB, MetricMemoryGB}
+}

@@ -1,0 +1,104 @@
+package fabric
+
+import (
+	"sort"
+	"strings"
+	"sync"
+)
+
+// NamingService is a highly available key-value metastore, modeled on
+// Service Fabric's Naming Service (§3.3.1). Toto stores the serialized
+// model XML in it, and the persisted-metric protocol (§3.3.2) round-trips
+// previously reported disk loads through it so a newly promoted primary
+// on a different node sees the same disk usage the old primary reported.
+//
+// Every write bumps a monotonically increasing version so readers can
+// detect changes cheaply. The store is safe for concurrent use: in the
+// deployed system every node's RgManager reads it independently.
+type NamingService struct {
+	mu      sync.RWMutex
+	entries map[string]namingEntry
+	version int64
+	reads   int64
+}
+
+type namingEntry struct {
+	value   []byte
+	version int64
+}
+
+// NewNamingService returns an empty metastore.
+func NewNamingService() *NamingService {
+	return &NamingService{entries: make(map[string]namingEntry)}
+}
+
+// Put stores value under key and returns the new entry version. The value
+// is copied, so callers may reuse their buffer.
+func (n *NamingService) Put(key string, value []byte) int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.version++
+	n.entries[key] = namingEntry{value: append([]byte(nil), value...), version: n.version}
+	return n.version
+}
+
+// Get returns the value and version stored under key. The returned slice
+// is a copy.
+func (n *NamingService) Get(key string) (value []byte, version int64, ok bool) {
+	n.mu.Lock()
+	n.reads++
+	n.mu.Unlock()
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	e, ok := n.entries[key]
+	if !ok {
+		return nil, 0, false
+	}
+	return append([]byte(nil), e.value...), e.version, true
+}
+
+// Version returns the version of the entry under key, or 0 when absent.
+// It lets pollers skip re-parsing unchanged values (RgManager re-reads
+// the model XML every 15 minutes; an unchanged version short-circuits).
+func (n *NamingService) Version(key string) int64 {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.entries[key].version
+}
+
+// Delete removes key. Deleting an absent key is a no-op.
+func (n *NamingService) Delete(key string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.entries, key)
+}
+
+// Keys returns all keys with the given prefix in sorted order.
+func (n *NamingService) Keys(prefix string) []string {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	var out []string
+	for k := range n.entries {
+		if strings.HasPrefix(k, prefix) {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Reads returns the cumulative number of Get calls served — the load the
+// metastore absorbs from polling readers (each node's RgManager re-reads
+// the model XML every refresh interval, §3.3.1).
+func (n *NamingService) Reads() int64 {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.reads
+}
+
+// Len returns the number of stored entries.
+func (n *NamingService) Len() int {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return len(n.entries)
+}

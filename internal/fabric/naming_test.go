@@ -1,0 +1,98 @@
+package fabric
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestNamingPutGet(t *testing.T) {
+	n := NewNamingService()
+	if _, _, ok := n.Get("missing"); ok {
+		t.Error("Get on missing key succeeded")
+	}
+	v1 := n.Put("a", []byte("hello"))
+	got, ver, ok := n.Get("a")
+	if !ok || string(got) != "hello" || ver != v1 {
+		t.Fatalf("Get = %q, %d, %v", got, ver, ok)
+	}
+}
+
+func TestNamingVersionsIncrease(t *testing.T) {
+	n := NewNamingService()
+	v1 := n.Put("a", []byte("1"))
+	v2 := n.Put("a", []byte("2"))
+	v3 := n.Put("b", []byte("3"))
+	if !(v1 < v2 && v2 < v3) {
+		t.Errorf("versions not increasing: %d %d %d", v1, v2, v3)
+	}
+	if n.Version("a") != v2 {
+		t.Errorf("Version(a) = %d, want %d", n.Version("a"), v2)
+	}
+	if n.Version("missing") != 0 {
+		t.Error("Version of missing key != 0")
+	}
+}
+
+func TestNamingValueIsCopied(t *testing.T) {
+	n := NewNamingService()
+	buf := []byte("abc")
+	n.Put("k", buf)
+	buf[0] = 'X'
+	got, _, _ := n.Get("k")
+	if string(got) != "abc" {
+		t.Error("Put did not copy the value")
+	}
+	got[0] = 'Y'
+	again, _, _ := n.Get("k")
+	if string(again) != "abc" {
+		t.Error("Get did not copy the value")
+	}
+}
+
+func TestNamingDelete(t *testing.T) {
+	n := NewNamingService()
+	n.Put("k", []byte("v"))
+	n.Delete("k")
+	if _, _, ok := n.Get("k"); ok {
+		t.Error("deleted key still present")
+	}
+	n.Delete("k") // idempotent
+	if n.Len() != 0 {
+		t.Errorf("Len = %d", n.Len())
+	}
+}
+
+func TestNamingKeysPrefix(t *testing.T) {
+	n := NewNamingService()
+	n.Put("toto/load/db1", []byte("1"))
+	n.Put("toto/load/db2", []byte("2"))
+	n.Put("toto/models", []byte("m"))
+	keys := n.Keys("toto/load/")
+	if len(keys) != 2 || keys[0] != "toto/load/db1" || keys[1] != "toto/load/db2" {
+		t.Errorf("Keys = %v", keys)
+	}
+	if got := n.Keys("other/"); len(got) != 0 {
+		t.Errorf("Keys(other) = %v", got)
+	}
+}
+
+func TestNamingConcurrentAccess(t *testing.T) {
+	n := NewNamingService()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			key := string(rune('a' + g))
+			for i := 0; i < 1000; i++ {
+				n.Put(key, []byte{byte(i)})
+				n.Get(key)
+				n.Version(key)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n.Len() != 8 {
+		t.Errorf("Len = %d, want 8", n.Len())
+	}
+}

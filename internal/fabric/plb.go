@@ -1,0 +1,380 @@
+package fabric
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"toto/internal/rng"
+)
+
+// plb is the Placement and Load Balancer. It decides where new replicas
+// go (simulated annealing over a balance cost function, as Service Fabric
+// does, §5.2: "the PLB in Service Fabric uses the Simulated Annealing
+// algorithm to decide where to place replicas") and fixes node capacity
+// violations by moving replicas off overloaded nodes (failovers).
+type plb struct {
+	cluster *Cluster
+	cfg     Config
+	rnd     *rng.Source
+}
+
+func newPLB(c *Cluster, cfg Config) *plb {
+	return &plb{cluster: c, cfg: cfg, rnd: rng.New(cfg.PLBSeed)}
+}
+
+// capacity returns node n's enforced capacity for metric m: core capacity
+// is scaled by the density factor, disk and memory are not (§5: density
+// tunes core reservations against logical capacity; disk limits stay
+// fixed, which is exactly why high density converts disk growth into
+// failovers).
+func (p *plb) capacity(n *Node, m MetricName) float64 {
+	c := n.Capacity[m]
+	if m == MetricCores {
+		c *= p.cfg.Density
+	}
+	return c
+}
+
+// freeCores returns the unreserved core capacity of node n at the current
+// density.
+func (p *plb) freeCores(n *Node) float64 {
+	return p.capacity(n, MetricCores) - n.Load(MetricCores)
+}
+
+// nodeCost scores node n's load state given a hypothetical extra load.
+// The cost is the sum over metrics of squared utilization, which pushes
+// the annealer toward balanced, under-capacity assignments; utilization
+// above 1 is additionally penalized steeply so violations dominate.
+func (p *plb) nodeCost(n *Node, extra map[MetricName]float64) float64 {
+	cost := 0.0
+	for _, m := range AllMetrics() {
+		cap := p.capacity(n, m)
+		if cap <= 0 {
+			continue
+		}
+		u := (n.Load(m) + extra[m]) / cap
+		cost += u * u
+		if u > 1 {
+			over := u - 1
+			cost += 100 * over * over
+		}
+	}
+	return cost
+}
+
+// place chooses a node for each replica of svc. It returns the chosen
+// nodes (index-aligned with svc.Replicas) or ErrInsufficientCores when no
+// feasible assignment exists. Nothing is attached; the caller commits.
+func (p *plb) place(svc *Service) ([]*Node, error) {
+	need := svc.ReservedCoresPerReplica
+	nodes := p.cluster.nodes
+
+	// Feasibility first: count up nodes with enough free cores. Replicas
+	// of one service must land on distinct nodes; drained nodes accept
+	// nothing.
+	feasible := make([]*Node, 0, len(nodes))
+	for _, n := range nodes {
+		if n.Up() && p.freeCores(n) >= need {
+			feasible = append(feasible, n)
+		}
+	}
+	if len(feasible) < svc.ReplicaCount {
+		return nil, ErrInsufficientCores
+	}
+
+	// Greedy seed: most free cores first, breaking ties by fewest
+	// replicas then node ID for determinism.
+	sort.Slice(feasible, func(i, j int) bool {
+		fi, fj := p.freeCores(feasible[i]), p.freeCores(feasible[j])
+		if fi != fj {
+			return fi > fj
+		}
+		if feasible[i].ReplicaCount() != feasible[j].ReplicaCount() {
+			return feasible[i].ReplicaCount() < feasible[j].ReplicaCount()
+		}
+		return feasible[i].ID < feasible[j].ID
+	})
+	assign := make([]*Node, svc.ReplicaCount)
+	copy(assign, feasible[:svc.ReplicaCount])
+
+	if p.cfg.GreedyPlacement || len(feasible) == svc.ReplicaCount {
+		return assign, nil
+	}
+
+	// Simulated annealing: perturb one replica's node at a time. The
+	// cost sees the replica's known initial loads, not just its core
+	// reservation.
+	extra := map[MetricName]float64{MetricCores: need}
+	for _, m := range []MetricName{MetricDiskGB, MetricMemoryGB} {
+		if v := svc.Replicas[0].Loads[m]; v > 0 {
+			extra[m] = v
+		}
+	}
+	assignmentCost := func(a []*Node) float64 {
+		cost := 0.0
+		for _, n := range a {
+			cost += p.nodeCost(n, extra)
+		}
+		return cost
+	}
+	used := func(a []*Node, n *Node, except int) bool {
+		for i, an := range a {
+			if i != except && an == n {
+				return true
+			}
+		}
+		return false
+	}
+
+	curCost := assignmentCost(assign)
+	best := make([]*Node, len(assign))
+	copy(best, assign)
+	bestCost := curCost
+	temp := p.cfg.SAInitialTemp
+	for it := 0; it < p.cfg.SAIterations; it++ {
+		ri := p.rnd.Intn(len(assign))
+		cand := feasible[p.rnd.Intn(len(feasible))]
+		if cand == assign[ri] || used(assign, cand, ri) {
+			temp *= p.cfg.SACooling
+			continue
+		}
+		old := assign[ri]
+		assign[ri] = cand
+		newCost := assignmentCost(assign)
+		delta := newCost - curCost
+		if delta <= 0 || p.rnd.Float64() < math.Exp(-delta/math.Max(temp, 1e-9)) {
+			curCost = newCost
+			if curCost < bestCost {
+				bestCost = curCost
+				copy(best, assign)
+			}
+		} else {
+			assign[ri] = old
+		}
+		temp *= p.cfg.SACooling
+	}
+	return best, nil
+}
+
+// scan is the periodic PLB pass: account resource-wait degradation on
+// nodes found over capacity, fix the violations (disk and memory; core
+// violations can only appear if density was lowered mid-run), then
+// optionally perform balancing moves.
+func (p *plb) scan(now time.Time) {
+	p.accrueDegradation()
+	for _, m := range []MetricName{MetricDiskGB, MetricMemoryGB, MetricCores} {
+		p.fixViolations(m)
+	}
+	if p.cfg.BalancingEnabled {
+		p.balance(now)
+	}
+}
+
+// accrueDegradation adds resource-wait unavailability to every database
+// whose primary replica sits on a node that is over logical capacity in
+// any metric: until the violation is fixed, the node cannot dispatch all
+// the resources its databases have reserved (§1, §5.1).
+func (p *plb) accrueDegradation() {
+	if p.cfg.DegradationFactor <= 0 {
+		return
+	}
+	degraded := time.Duration(float64(p.cfg.ScanInterval) * p.cfg.DegradationFactor)
+	for _, n := range p.cluster.nodes {
+		over := false
+		for _, m := range AllMetrics() {
+			if n.Load(m) > p.capacity(n, m) {
+				over = true
+				break
+			}
+		}
+		if !over {
+			continue
+		}
+		for _, r := range n.replicas {
+			if r.Role == Primary {
+				r.service.Downtime += degraded
+			}
+		}
+	}
+}
+
+// fixViolations moves replicas off nodes whose load for metric m exceeds
+// capacity, until the node is under capacity or the per-violation move
+// budget is spent. Drained nodes are skipped: their replicas already
+// left, and any stranded ones have nowhere better to go.
+func (p *plb) fixViolations(m MetricName) {
+	// Stable node order keeps runs reproducible given a fixed PLB seed.
+	for _, n := range p.cluster.nodes {
+		if !n.Up() {
+			continue
+		}
+		moves := 0
+		for n.Load(m) > p.capacity(n, m) && moves < p.cfg.MaxMovesPerViolation {
+			victim := p.chooseVictim(n, m)
+			if victim == nil {
+				break
+			}
+			target := p.chooseTarget(victim)
+			if target == nil {
+				break // cluster-wide pressure: no feasible target
+			}
+			p.cluster.moveReplica(victim, target, m, EventFailover)
+			moves++
+		}
+	}
+}
+
+// chooseVictim picks the replica to move off overloaded node n. The
+// deterministic heuristic prefers the cheapest replica (smallest disk
+// load — moving a Premium/BC replica means physically copying its data,
+// §3.1) whose removal clears the violation; if no single replica
+// suffices, it takes the one with the largest load for the violated
+// metric. The annealer's randomness occasionally overrides the heuristic,
+// reproducing the paper's observation that "poor placement decisions can
+// potentially disproportionately punish the number of failed-over cores"
+// (§5.3.3).
+func (p *plb) chooseVictim(n *Node, m MetricName) *Replica {
+	replicas := n.Replicas()
+	if len(replicas) == 0 {
+		return nil
+	}
+	sort.Slice(replicas, func(i, j int) bool {
+		if replicas[i].Loads[MetricDiskGB] != replicas[j].Loads[MetricDiskGB] {
+			return replicas[i].Loads[MetricDiskGB] < replicas[j].Loads[MetricDiskGB]
+		}
+		return replicas[i].ID.String() < replicas[j].ID.String()
+	})
+	over := n.Load(m) - p.capacity(n, m)
+
+	// With small probability pick uniformly at random (simulated
+	// annealing exploration applied to violation fixes).
+	if p.rnd.Float64() < 0.10 {
+		return replicas[p.rnd.Intn(len(replicas))]
+	}
+	for _, r := range replicas {
+		if r.Loads[m] >= over {
+			return r
+		}
+	}
+	// No single replica clears it; move the biggest contributor.
+	best := replicas[0]
+	for _, r := range replicas[1:] {
+		if r.Loads[m] > best.Loads[m] {
+			best = r
+		}
+	}
+	return best
+}
+
+// chooseTarget picks the node to receive replica r: feasible on cores and
+// on the replica's current dynamic loads, not already hosting a replica
+// of the same service, minimizing post-move cost (with annealing noise).
+func (p *plb) chooseTarget(r *Replica) *Node {
+	svc := r.service
+	extra := map[MetricName]float64{
+		MetricCores:    svc.ReservedCoresPerReplica,
+		MetricDiskGB:   r.Loads[MetricDiskGB],
+		MetricMemoryGB: r.Loads[MetricMemoryGB],
+	}
+	var candidates []*Node
+	for _, n := range p.cluster.nodes {
+		if n == r.Node || !n.Up() {
+			continue
+		}
+		if p.hostsServiceReplica(n, svc, r) {
+			continue
+		}
+		ok := true
+		for _, m := range AllMetrics() {
+			if n.Load(m)+extra[m] > p.capacity(n, m) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			candidates = append(candidates, n)
+		}
+	}
+	if len(candidates) == 0 {
+		return nil
+	}
+	if p.rnd.Float64() < 0.10 {
+		return candidates[p.rnd.Intn(len(candidates))]
+	}
+	best := candidates[0]
+	bestCost := p.nodeCost(best, extra)
+	for _, n := range candidates[1:] {
+		if c := p.nodeCost(n, extra); c < bestCost {
+			best, bestCost = n, c
+		}
+	}
+	return best
+}
+
+// hostsServiceReplica reports whether node n hosts a replica of svc other
+// than r itself.
+func (p *plb) hostsServiceReplica(n *Node, svc *Service, r *Replica) bool {
+	for _, other := range svc.Replicas {
+		if other != r && other.Node == n {
+			return true
+		}
+	}
+	return false
+}
+
+// balance performs at most one proactive move per scan when the disk
+// utilization spread between the most- and least-loaded nodes exceeds the
+// configured threshold.
+func (p *plb) balance(_ time.Time) {
+	var hi, lo *Node
+	var hiU, loU float64
+	for _, n := range p.cluster.nodes {
+		cap := p.capacity(n, MetricDiskGB)
+		if cap <= 0 {
+			continue
+		}
+		u := n.Load(MetricDiskGB) / cap
+		if hi == nil || u > hiU {
+			hi, hiU = n, u
+		}
+		if lo == nil || u < loU {
+			lo, loU = n, u
+		}
+	}
+	if hi == nil || lo == nil || hi == lo || hiU-loU < p.cfg.BalanceSpread {
+		return
+	}
+	// Move the smallest replica that narrows the gap, if feasible.
+	replicas := hi.Replicas()
+	sort.Slice(replicas, func(i, j int) bool {
+		if replicas[i].Loads[MetricDiskGB] != replicas[j].Loads[MetricDiskGB] {
+			return replicas[i].Loads[MetricDiskGB] < replicas[j].Loads[MetricDiskGB]
+		}
+		return replicas[i].ID.String() < replicas[j].ID.String()
+	})
+	for _, r := range replicas {
+		if r.Loads[MetricDiskGB] <= 0 {
+			continue
+		}
+		if p.hostsServiceReplica(lo, r.service, r) {
+			continue
+		}
+		feasible := true
+		extra := map[MetricName]float64{
+			MetricCores:    r.service.ReservedCoresPerReplica,
+			MetricDiskGB:   r.Loads[MetricDiskGB],
+			MetricMemoryGB: r.Loads[MetricMemoryGB],
+		}
+		for _, m := range AllMetrics() {
+			if lo.Load(m)+extra[m] > p.capacity(lo, m) {
+				feasible = false
+				break
+			}
+		}
+		if feasible {
+			p.cluster.moveReplica(r, lo, MetricDiskGB, EventBalanceMove)
+			return
+		}
+	}
+}

@@ -1,0 +1,240 @@
+package fabric
+
+import (
+	"fmt"
+	"time"
+)
+
+// ReplicaRole distinguishes the primary replica (which serves writes and
+// whose movement causes customer-visible unavailability) from secondaries.
+type ReplicaRole int
+
+const (
+	// Primary is the replica serving the customer workload.
+	Primary ReplicaRole = iota
+	// Secondary is a standby replica of a local-store database.
+	Secondary
+)
+
+// String returns the role name.
+func (r ReplicaRole) String() string {
+	if r == Primary {
+		return "primary"
+	}
+	return "secondary"
+}
+
+// ReplicaID identifies one replica of one service.
+type ReplicaID struct {
+	Service string
+	Index   int
+}
+
+// String formats the ID as "service/index".
+func (id ReplicaID) String() string { return fmt.Sprintf("%s/%d", id.Service, id.Index) }
+
+// Replica is one instance of a service placed on a node, carrying the
+// dynamic load metrics it last reported to the PLB.
+type Replica struct {
+	// ID identifies the replica within the cluster.
+	ID ReplicaID
+	// Role is Primary or Secondary.
+	Role ReplicaRole
+	// Node is the node currently hosting the replica (nil while a
+	// placement is pending).
+	Node *Node
+	// Loads holds the last reported value for each metric. MetricCores is
+	// written once at placement from the service reservation; the others
+	// change as the replica reports.
+	Loads map[MetricName]float64
+	// Incarnation counts how many times the replica has been (re)placed.
+	// It distinguishes a fresh replica from a stale one that returned to
+	// a node it lived on before, so per-node in-memory state (RgManager's
+	// non-persisted metric store) is never wrongly reused.
+	Incarnation int
+
+	service *Service
+}
+
+// Service returns the service this replica belongs to.
+func (r *Replica) Service() *Service { return r.service }
+
+// Load returns the replica's last reported value for metric m (0 when
+// never reported).
+func (r *Replica) Load(m MetricName) float64 { return r.Loads[m] }
+
+// Service is a deployed application — in SQL DB terms, one database. A
+// service has a fixed replica count (1 for remote-store databases, 4 for
+// local-store, §2) and per-replica static reservations (cores).
+type Service struct {
+	// Name uniquely identifies the service in the cluster.
+	Name string
+	// Labels carries application metadata the fabric itself does not
+	// interpret (Toto stores the database's edition and SLO name here).
+	Labels map[string]string
+	// ReplicaCount is the number of replicas the service runs.
+	ReplicaCount int
+	// ReservedCoresPerReplica is the static core reservation each replica
+	// holds against its node's logical core capacity.
+	ReservedCoresPerReplica float64
+	// Replicas are the service's replicas; index 0 starts as primary.
+	Replicas []*Replica
+	// Created is the simulated time the service was placed.
+	Created time.Time
+	// Dropped is the simulated drop time; zero while the service lives.
+	Dropped time.Time
+	// Downtime accumulates customer-visible unavailability from
+	// failovers, feeding the SLA penalty in the revenue model (§5.1).
+	Downtime time.Duration
+	// FailoverCount is the number of replica movements the service
+	// suffered after initial placement.
+	FailoverCount int
+	// FailedOverCores accumulates the core reservation moved across all
+	// of this service's failovers (the paper's Fig. 2 x-axis and Fig. 12b
+	// quantity counts capacity moved, so each moved replica contributes
+	// its per-replica core reservation).
+	FailedOverCores float64
+}
+
+// newService builds a service and its replica shells (unplaced).
+func newService(name string, replicaCount int, reservedCores float64, labels map[string]string, created time.Time) *Service {
+	if replicaCount < 1 {
+		panic(fmt.Sprintf("fabric: service %q with replica count %d", name, replicaCount))
+	}
+	s := &Service{
+		Name:                    name,
+		Labels:                  labels,
+		ReplicaCount:            replicaCount,
+		ReservedCoresPerReplica: reservedCores,
+		Created:                 created,
+	}
+	for i := 0; i < replicaCount; i++ {
+		role := Secondary
+		if i == 0 {
+			role = Primary
+		}
+		s.Replicas = append(s.Replicas, &Replica{
+			ID:      ReplicaID{Service: name, Index: i},
+			Role:    role,
+			Loads:   map[MetricName]float64{MetricCores: reservedCores},
+			service: s,
+		})
+	}
+	return s
+}
+
+// Primary returns the service's current primary replica.
+func (s *Service) Primary() *Replica {
+	for _, r := range s.Replicas {
+		if r.Role == Primary {
+			return r
+		}
+	}
+	return nil // unreachable for a well-formed service
+}
+
+// TotalReservedCores returns the core reservation across all replicas.
+func (s *Service) TotalReservedCores() float64 {
+	return s.ReservedCoresPerReplica * float64(s.ReplicaCount)
+}
+
+// Alive reports whether the service has not been dropped.
+func (s *Service) Alive() bool { return s.Dropped.IsZero() }
+
+// Lifetime returns how long the service has existed as of now (or until
+// it was dropped, if earlier).
+func (s *Service) Lifetime(now time.Time) time.Duration {
+	end := now
+	if !s.Dropped.IsZero() && s.Dropped.Before(now) {
+		end = s.Dropped
+	}
+	if end.Before(s.Created) {
+		return 0
+	}
+	return end.Sub(s.Created)
+}
+
+// Node is one machine in the cluster. Capacities are "logical": the
+// conservatively-set thresholds the PLB enforces, not the physical limits
+// (§3.1).
+type Node struct {
+	// ID names the node ("node-0", ...).
+	ID string
+	// Capacity maps each metric to the node's logical capacity for it.
+	// The PLB multiplies the cores capacity by the cluster's density
+	// factor (§5: density 110% reserves more cores than logical capacity).
+	Capacity map[MetricName]float64
+
+	replicas map[ReplicaID]*Replica
+	// down marks the node as drained for maintenance (see maintenance.go).
+	down bool
+	// totals caches the aggregate load per metric, maintained on
+	// attach/detach/report. Summing the replica map on demand would make
+	// the floating-point result depend on map iteration order, breaking
+	// bit-for-bit run reproducibility (§5.2); the running total follows
+	// deterministic event order.
+	totals map[MetricName]float64
+}
+
+func newNode(id string, capacity map[MetricName]float64) *Node {
+	cap := make(map[MetricName]float64, len(capacity))
+	for k, v := range capacity {
+		cap[k] = v
+	}
+	return &Node{
+		ID:       id,
+		Capacity: cap,
+		replicas: make(map[ReplicaID]*Replica),
+		totals:   make(map[MetricName]float64),
+	}
+}
+
+// Load returns the node's aggregate reported load for metric m.
+func (n *Node) Load(m MetricName) float64 {
+	v := n.totals[m]
+	if v < 0 {
+		// Guard against floating-point residue from repeated +=/-=.
+		return 0
+	}
+	return v
+}
+
+// applyLoadDelta adjusts the cached total when a replica's reported load
+// for metric m changes by delta.
+func (n *Node) applyLoadDelta(m MetricName, delta float64) {
+	n.totals[m] += delta
+}
+
+// ReplicaCount returns the number of replicas currently on the node.
+func (n *Node) ReplicaCount() int { return len(n.replicas) }
+
+// Replicas returns the replicas on the node (order unspecified).
+func (n *Node) Replicas() []*Replica {
+	out := make([]*Replica, 0, len(n.replicas))
+	for _, r := range n.replicas {
+		out = append(out, r)
+	}
+	return out
+}
+
+// attach places replica r on the node.
+func (n *Node) attach(r *Replica) {
+	n.replicas[r.ID] = r
+	r.Node = n
+	for m, v := range r.Loads {
+		n.totals[m] += v
+	}
+}
+
+// detach removes replica r from the node.
+func (n *Node) detach(r *Replica) {
+	if _, present := n.replicas[r.ID]; present {
+		for m, v := range r.Loads {
+			n.totals[m] -= v
+		}
+	}
+	delete(n.replicas, r.ID)
+	if r.Node == n {
+		r.Node = nil
+	}
+}

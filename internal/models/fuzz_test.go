@@ -1,0 +1,58 @@
+package models
+
+import (
+	"testing"
+	"time"
+
+	"toto/internal/slo"
+)
+
+// FuzzUnmarshalModelSetXML exercises the XML parser with arbitrary
+// inputs: it must never panic, and anything it accepts must re-serialize
+// and re-parse stably (a parse/encode/parse round trip converges).
+func FuzzUnmarshalModelSetXML(f *testing.F) {
+	// Seed the corpus with a real serialized model set and mutations the
+	// validator must reject.
+	set := NewModelSet(7)
+	set.RingShare = 0.05
+	h := NewHourlyNormal()
+	h.Set(HourBucket{Hour: 9}, NormalParam{Mean: 3, Sigma: 1})
+	set.Create[slo.StandardGP] = h
+	set.Disk[slo.PremiumBC] = &DiskUsageModel{
+		Steady:         h,
+		ReportInterval: 20 * time.Minute,
+		Persisted:      true,
+		Initial: &InitialGrowthModel{
+			Probability: 0.04,
+			Duration:    30 * time.Minute,
+			Bins:        []GrowthBin{{LoGB: 12, HiGB: 100}},
+		},
+	}
+	if good, err := set.EncodeXML(); err == nil {
+		f.Add(good)
+	}
+	f.Add([]byte(`<TotoModels seed="1" ringShare="1"></TotoModels>`))
+	f.Add([]byte(`<TotoModels seed="1" ringShare="0"></TotoModels>`))
+	f.Add([]byte(`<TotoModels seed="1" ringShare="1"><CreateModel edition="Standard/GP"><Hour hour="25"/></CreateModel></TotoModels>`))
+	f.Add([]byte(`<not xml`))
+	f.Add([]byte(``))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		parsed, err := UnmarshalModelSetXML(data)
+		if err != nil {
+			return // rejected input: fine, as long as no panic
+		}
+		out, err := parsed.EncodeXML()
+		if err != nil {
+			t.Fatalf("accepted set failed to encode: %v", err)
+		}
+		again, err := UnmarshalModelSetXML(out)
+		if err != nil {
+			t.Fatalf("round trip failed to re-parse: %v", err)
+		}
+		// The round trip must be stable on scalar identity fields.
+		if again.Seed != parsed.Seed || again.RingShare != parsed.RingShare || again.Frozen != parsed.Frozen {
+			t.Fatalf("round trip changed scalars: %+v vs %+v", parsed, again)
+		}
+	})
+}

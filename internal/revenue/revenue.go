@@ -1,0 +1,146 @@
+// Package revenue implements the paper's modeled adjusted revenue
+// calculation (§5.1): per-database compute revenue (SLO price × core
+// count × lifetime) plus storage revenue (data size × storage price ×
+// lifetime), minus SLA service credits when a database's downtime exceeds
+// the 99.99% availability objective.
+package revenue
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"toto/internal/slo"
+)
+
+// CreditTier is one rung of the SLA service-credit ladder: databases
+// whose monthly-equivalent uptime falls below Uptime are credited
+// CreditFraction of their revenue.
+type CreditTier struct {
+	Uptime         float64
+	CreditFraction float64
+}
+
+// SLA is the availability agreement used for the penalty-cost model.
+type SLA struct {
+	// Tiers is the credit ladder, sorted by descending uptime threshold.
+	Tiers []CreditTier
+}
+
+// DefaultSLA returns the Azure SQL Database SLA (v1.4) ladder the paper
+// cites: 99.99% objective with 10% credit below it, 25% below 99%, and
+// 100% below 95%.
+func DefaultSLA() SLA {
+	return SLA{Tiers: []CreditTier{
+		{Uptime: 0.9999, CreditFraction: 0.10},
+		{Uptime: 0.99, CreditFraction: 0.25},
+		{Uptime: 0.95, CreditFraction: 1.00},
+	}}
+}
+
+// CreditFraction returns the fraction of revenue credited back to a
+// customer whose uptime fraction was uptime. Uptime at or above the top
+// tier earns no credit; lower uptimes earn the deepest breached tier.
+func (s SLA) CreditFraction(uptime float64) float64 {
+	// Tiers are ordered from the highest threshold to the lowest; the
+	// deepest breached tier wins.
+	tiers := append([]CreditTier(nil), s.Tiers...)
+	sort.Slice(tiers, func(i, j int) bool { return tiers[i].Uptime > tiers[j].Uptime })
+	frac := 0.0
+	for _, t := range tiers {
+		if uptime < t.Uptime {
+			frac = t.CreditFraction
+		}
+	}
+	return frac
+}
+
+// Usage summarizes one database's lifetime for revenue purposes.
+type Usage struct {
+	// DB is the database name.
+	DB string
+	// SLO is the purchased service level objective.
+	SLO slo.SLO
+	// Lifetime is how long the database existed during the scored window.
+	Lifetime time.Duration
+	// AvgDiskGB is the database's average data size over its lifetime
+	// (storage is billed on stored bytes, not on replicas — replication
+	// cost is folded into the BC storage price).
+	AvgDiskGB float64
+	// Downtime is accumulated customer-visible unavailability.
+	Downtime time.Duration
+}
+
+// Revenue is the scored outcome for one database.
+type Revenue struct {
+	DB       string
+	Compute  float64
+	Storage  float64
+	Gross    float64
+	Uptime   float64
+	Penalty  float64
+	Adjusted float64
+}
+
+// hoursPerMonth converts the $/GB-month storage price to an hourly rate
+// (Azure bills on a 730-hour month).
+const hoursPerMonth = 730.0
+
+// Score computes one database's modeled adjusted revenue under the SLA.
+func Score(u Usage, sla SLA) (Revenue, error) {
+	if u.Lifetime < 0 {
+		return Revenue{}, fmt.Errorf("revenue: negative lifetime for %s", u.DB)
+	}
+	if u.Downtime < 0 || u.Downtime > u.Lifetime {
+		return Revenue{}, fmt.Errorf("revenue: downtime %v outside [0, lifetime] for %s", u.Downtime, u.DB)
+	}
+	hours := u.Lifetime.Hours()
+	compute := u.SLO.PricePerCoreHour * float64(u.SLO.Cores) * hours
+	storage := u.SLO.StoragePricePerGBMonth / hoursPerMonth * u.AvgDiskGB * hours
+	gross := compute + storage
+
+	uptime := 1.0
+	if u.Lifetime > 0 {
+		uptime = 1 - u.Downtime.Seconds()/u.Lifetime.Seconds()
+	}
+	penalty := gross * sla.CreditFraction(uptime)
+	return Revenue{
+		DB:       u.DB,
+		Compute:  compute,
+		Storage:  storage,
+		Gross:    gross,
+		Uptime:   uptime,
+		Penalty:  penalty,
+		Adjusted: gross - penalty,
+	}, nil
+}
+
+// Totals aggregates scored revenues.
+type Totals struct {
+	Compute  float64
+	Storage  float64
+	Gross    float64
+	Penalty  float64
+	Adjusted float64
+	// Breached counts databases that earned any service credit.
+	Breached int
+	// Databases counts all scored databases.
+	Databases int
+}
+
+// Aggregate sums a slice of per-database revenues.
+func Aggregate(revs []Revenue) Totals {
+	var t Totals
+	for _, r := range revs {
+		t.Compute += r.Compute
+		t.Storage += r.Storage
+		t.Gross += r.Gross
+		t.Penalty += r.Penalty
+		t.Adjusted += r.Adjusted
+		if r.Penalty > 0 {
+			t.Breached++
+		}
+		t.Databases++
+	}
+	return t
+}

@@ -1,0 +1,182 @@
+package revenue
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"toto/internal/slo"
+)
+
+func gp2() slo.SLO {
+	s, ok := slo.Gen5().Lookup("GP_Gen5_2")
+	if !ok {
+		panic("GP_Gen5_2 missing")
+	}
+	return s
+}
+
+func TestCreditLadder(t *testing.T) {
+	sla := DefaultSLA()
+	cases := []struct {
+		uptime float64
+		want   float64
+	}{
+		{1.0, 0},
+		{0.9999, 0},     // exactly at the objective: no credit
+		{0.99989, 0.10}, // just below 99.99
+		{0.995, 0.10},
+		{0.989, 0.25},
+		{0.96, 0.25},
+		{0.94, 1.00},
+		{0, 1.00},
+	}
+	for _, c := range cases {
+		if got := sla.CreditFraction(c.uptime); got != c.want {
+			t.Errorf("CreditFraction(%v) = %v, want %v", c.uptime, got, c.want)
+		}
+	}
+}
+
+func TestScoreComputeAndStorage(t *testing.T) {
+	s := gp2()
+	u := Usage{
+		DB:        "db",
+		SLO:       s,
+		Lifetime:  24 * time.Hour,
+		AvgDiskGB: 100,
+	}
+	r, err := Score(u, DefaultSLA())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCompute := s.PricePerCoreHour * 2 * 24
+	if math.Abs(r.Compute-wantCompute) > 1e-9 {
+		t.Errorf("compute = %v, want %v", r.Compute, wantCompute)
+	}
+	wantStorage := s.StoragePricePerGBMonth / 730 * 100 * 24
+	if math.Abs(r.Storage-wantStorage) > 1e-9 {
+		t.Errorf("storage = %v, want %v", r.Storage, wantStorage)
+	}
+	if r.Penalty != 0 || r.Adjusted != r.Gross {
+		t.Errorf("penalty on zero downtime: %+v", r)
+	}
+	if r.Uptime != 1 {
+		t.Errorf("uptime = %v", r.Uptime)
+	}
+}
+
+func TestScoreSLABreach(t *testing.T) {
+	// 6-day lifetime allows 51.8s at 99.99%; 75s breaches the first tier.
+	u := Usage{
+		DB:       "db",
+		SLO:      gp2(),
+		Lifetime: 6 * 24 * time.Hour,
+		Downtime: 75 * time.Second,
+	}
+	r, err := Score(u, DefaultSLA())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Uptime >= 0.9999 {
+		t.Fatalf("uptime = %v, expected breach", r.Uptime)
+	}
+	if math.Abs(r.Penalty-0.10*r.Gross) > 1e-9 {
+		t.Errorf("penalty = %v, want 10%% of %v", r.Penalty, r.Gross)
+	}
+	if math.Abs(r.Adjusted-(r.Gross-r.Penalty)) > 1e-9 {
+		t.Errorf("adjusted = %v", r.Adjusted)
+	}
+}
+
+func TestScoreDeepBreachOnYoungDB(t *testing.T) {
+	// A 2-hour-old database moved once with 75s downtime: uptime ~98.96%
+	// falls into the 25% credit tier — young databases are penalized
+	// harder by the same absolute downtime.
+	u := Usage{
+		DB:       "young",
+		SLO:      gp2(),
+		Lifetime: 2 * time.Hour,
+		Downtime: 75 * time.Second,
+	}
+	r, err := Score(u, DefaultSLA())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Penalty-0.25*r.Gross) > 1e-9 {
+		t.Errorf("penalty = %v, want 25%% tier (uptime %v)", r.Penalty, r.Uptime)
+	}
+}
+
+func TestScoreTotalOutage(t *testing.T) {
+	u := Usage{DB: "dead", SLO: gp2(), Lifetime: time.Hour, Downtime: 30 * time.Minute}
+	r, err := Score(u, DefaultSLA())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Penalty != r.Gross || r.Adjusted != 0 {
+		t.Errorf("50%% uptime: %+v", r)
+	}
+}
+
+func TestScoreValidation(t *testing.T) {
+	if _, err := Score(Usage{SLO: gp2(), Lifetime: -time.Hour}, DefaultSLA()); err == nil {
+		t.Error("negative lifetime accepted")
+	}
+	if _, err := Score(Usage{SLO: gp2(), Lifetime: time.Hour, Downtime: 2 * time.Hour}, DefaultSLA()); err == nil {
+		t.Error("downtime beyond lifetime accepted")
+	}
+	// Zero lifetime is fine (zero revenue, full uptime).
+	r, err := Score(Usage{SLO: gp2()}, DefaultSLA())
+	if err != nil || r.Gross != 0 || r.Uptime != 1 {
+		t.Errorf("zero lifetime: %+v, %v", r, err)
+	}
+}
+
+func TestBCEarnsMoreThanGP(t *testing.T) {
+	catalog := slo.Gen5()
+	gp, _ := catalog.Lookup("GP_Gen5_4")
+	bc, _ := catalog.Lookup("BC_Gen5_4")
+	mk := func(s slo.SLO) Revenue {
+		r, err := Score(Usage{DB: s.Name, SLO: s, Lifetime: 24 * time.Hour, AvgDiskGB: 50}, DefaultSLA())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	if mk(bc).Gross <= mk(gp).Gross {
+		t.Error("BC does not out-earn GP at equal size")
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	revs := []Revenue{
+		{Gross: 100, Compute: 90, Storage: 10, Penalty: 0, Adjusted: 100},
+		{Gross: 200, Compute: 150, Storage: 50, Penalty: 20, Adjusted: 180},
+	}
+	tot := Aggregate(revs)
+	if tot.Gross != 300 || tot.Penalty != 20 || tot.Adjusted != 280 {
+		t.Errorf("totals = %+v", tot)
+	}
+	if tot.Breached != 1 || tot.Databases != 2 {
+		t.Errorf("counts = %+v", tot)
+	}
+	empty := Aggregate(nil)
+	if empty.Databases != 0 || empty.Gross != 0 {
+		t.Errorf("empty aggregate = %+v", empty)
+	}
+}
+
+func TestCreditFractionUnsortedTiers(t *testing.T) {
+	sla := SLA{Tiers: []CreditTier{
+		{Uptime: 0.95, CreditFraction: 1.0},
+		{Uptime: 0.9999, CreditFraction: 0.10},
+		{Uptime: 0.99, CreditFraction: 0.25},
+	}}
+	if got := sla.CreditFraction(0.94); got != 1.0 {
+		t.Errorf("deepest tier = %v", got)
+	}
+	if got := sla.CreditFraction(0.995); got != 0.10 {
+		t.Errorf("first tier = %v", got)
+	}
+}

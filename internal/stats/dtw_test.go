@@ -1,0 +1,125 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"toto/internal/rng"
+)
+
+func TestDTWIdenticalSeries(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5}
+	d, err := DTW(a, a)
+	if err != nil || d != 0 {
+		t.Fatalf("DTW(a, a) = %v, %v", d, err)
+	}
+}
+
+func TestDTWKnownValue(t *testing.T) {
+	// Hand-checked alignment: [1,2,3] vs [1,3]:
+	// path (1,1)(2,3)(3,3) costs 0 + 1 + 0 = 1.
+	d, err := DTW([]float64{1, 2, 3}, []float64{1, 3})
+	if err != nil || d != 1 {
+		t.Fatalf("DTW = %v, want 1", d)
+	}
+}
+
+func TestDTWShiftTolerance(t *testing.T) {
+	// A time-shifted copy of a pattern should have much lower DTW than
+	// RMSE-style pointwise distance would suggest.
+	n := 100
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a[i] = math.Sin(float64(i) / 5)
+		b[i] = math.Sin(float64(i-3) / 5) // shifted by 3 samples
+	}
+	dtw, err := DTW(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pointwise := 0.0
+	for i := range a {
+		pointwise += math.Abs(a[i] - b[i])
+	}
+	if dtw > pointwise/3 {
+		t.Errorf("DTW (%v) did not absorb a small time shift (pointwise %v)", dtw, pointwise)
+	}
+}
+
+func TestDTWSymmetric(t *testing.T) {
+	a := []float64{1, 5, 2, 8, 3}
+	b := []float64{2, 4, 4, 7}
+	d1, _ := DTW(a, b)
+	d2, _ := DTW(b, a)
+	if d1 != d2 {
+		t.Errorf("DTW not symmetric: %v vs %v", d1, d2)
+	}
+}
+
+func TestDTWEmpty(t *testing.T) {
+	if _, err := DTW(nil, []float64{1}); err == nil {
+		t.Error("empty series not rejected")
+	}
+}
+
+func TestDTWWindowMatchesUnconstrainedWhenWide(t *testing.T) {
+	src := rng.New(1)
+	a := make([]float64, 60)
+	b := make([]float64, 50)
+	for i := range a {
+		a[i] = src.Normal(0, 1)
+	}
+	for i := range b {
+		b[i] = src.Normal(0, 1)
+	}
+	full, err := DTW(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	windowed, err := DTWWindow(a, b, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(full, windowed, 1e-9) {
+		t.Errorf("wide-window DTW %v != unconstrained %v", windowed, full)
+	}
+}
+
+func TestDTWWindowIsUpperBoundedByBand(t *testing.T) {
+	// A narrow band can only raise the distance (fewer paths allowed).
+	src := rng.New(2)
+	a := make([]float64, 80)
+	b := make([]float64, 80)
+	for i := range a {
+		a[i] = src.Normal(0, 1)
+		b[i] = src.Normal(0, 1)
+	}
+	full, _ := DTW(a, b)
+	narrow, err := DTWWindow(a, b, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if narrow < full-1e-9 {
+		t.Errorf("narrow-band DTW %v below unconstrained %v", narrow, full)
+	}
+}
+
+func TestDTWWindowNegativeRadius(t *testing.T) {
+	if _, err := DTWWindow([]float64{1}, []float64{1}, -1); err == nil {
+		t.Error("negative radius not rejected")
+	}
+}
+
+func TestDTWWindowLengthMismatchConnects(t *testing.T) {
+	// Band must widen to connect corners when lengths differ.
+	a := make([]float64, 50)
+	b := make([]float64, 20)
+	d, err := DTWWindow(a, b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(d, 1) {
+		t.Error("window too narrow to connect series of different lengths")
+	}
+}

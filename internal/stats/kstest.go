@@ -1,0 +1,188 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// KSResult holds the outcome of a one-sample Kolmogorov-Smirnov test.
+type KSResult struct {
+	// D is the K-S statistic: the supremum distance between the empirical
+	// CDF and the reference CDF.
+	D float64
+	// P is the asymptotic two-sided p-value.
+	P float64
+	// N is the sample size.
+	N int
+}
+
+// Reject reports whether the null hypothesis ("the sample follows the
+// reference distribution") is rejected at significance level alpha. The
+// paper uses alpha = 0.05 (Figure 7).
+func (r KSResult) Reject(alpha float64) bool { return r.P < alpha }
+
+// KSTest runs a one-sample Kolmogorov-Smirnov test of sample xs against
+// the continuous reference CDF cdf. It panics on an empty sample.
+//
+// The p-value uses the Kolmogorov asymptotic distribution with the
+// small-sample correction sqrt(n) + 0.12 + 0.11/sqrt(n) (Stephens 1970),
+// matching scipy.stats.kstest closely for the sample sizes the paper
+// feeds it (tens to hundreds of hourly observations).
+func KSTest(xs []float64, cdf func(float64) float64) KSResult {
+	if len(xs) == 0 {
+		panic(ErrEmpty)
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	n := float64(len(sorted))
+	d := 0.0
+	for i, x := range sorted {
+		f := cdf(x)
+		// D+ at this step and D- just before it.
+		dPlus := float64(i+1)/n - f
+		dMinus := f - float64(i)/n
+		if dPlus > d {
+			d = dPlus
+		}
+		if dMinus > d {
+			d = dMinus
+		}
+	}
+	en := math.Sqrt(n)
+	lambda := (en + 0.12 + 0.11/en) * d
+	return KSResult{D: d, P: kolmogorovQ(lambda), N: len(xs)}
+}
+
+// KSTestNormal fits a normal distribution to xs by moments and tests xs
+// against it. This mirrors the paper's workflow: each hourly training set
+// is tested for normality before an hourly-normal model is adopted.
+// Samples with zero variance trivially "fit" a degenerate normal; the
+// test returns D=0, P=1 for them since every value equals the mean.
+func KSTestNormal(xs []float64) KSResult {
+	m := Mean(xs)
+	sd := StdDev(xs)
+	if sd == 0 {
+		return KSResult{D: 0, P: 1, N: len(xs)}
+	}
+	return KSTest(xs, func(x float64) float64 { return NormalCDF(x, m, sd) })
+}
+
+// KSTwoSample runs a two-sample Kolmogorov-Smirnov test of xs against ys.
+// It panics if either sample is empty.
+func KSTwoSample(xs, ys []float64) KSResult {
+	if len(xs) == 0 || len(ys) == 0 {
+		panic(ErrEmpty)
+	}
+	a := append([]float64(nil), xs...)
+	b := append([]float64(nil), ys...)
+	sort.Float64s(a)
+	sort.Float64s(b)
+	na, nb := float64(len(a)), float64(len(b))
+	var i, j int
+	d := 0.0
+	for i < len(a) && j < len(b) {
+		x := math.Min(a[i], b[j])
+		for i < len(a) && a[i] <= x {
+			i++
+		}
+		for j < len(b) && b[j] <= x {
+			j++
+		}
+		diff := math.Abs(float64(i)/na - float64(j)/nb)
+		if diff > d {
+			d = diff
+		}
+	}
+	en := math.Sqrt(na * nb / (na + nb))
+	lambda := (en + 0.12 + 0.11/en) * d
+	return KSResult{D: d, P: kolmogorovQ(lambda), N: len(xs) + len(ys)}
+}
+
+// kolmogorovQ returns Q_KS(lambda) = 2 * sum_{k>=1} (-1)^{k-1}
+// exp(-2 k^2 lambda^2), the asymptotic two-sided K-S tail probability.
+func kolmogorovQ(lambda float64) float64 {
+	if lambda <= 0 {
+		return 1
+	}
+	const eps1 = 1e-6
+	const eps2 = 1e-16
+	a2 := -2 * lambda * lambda
+	sum := 0.0
+	termPrev := 0.0
+	sign := 1.0
+	for k := 1; k <= 100; k++ {
+		term := sign * math.Exp(a2*float64(k)*float64(k))
+		sum += term
+		t := math.Abs(term)
+		if t <= eps1*termPrev || t <= eps2*sum {
+			p := 2 * sum
+			if p < 0 {
+				return 0
+			}
+			if p > 1 {
+				return 1
+			}
+			return p
+		}
+		termPrev = t
+		sign = -sign
+	}
+	// Did not converge: lambda is tiny, so the CDF mass is ~1.
+	return 1
+}
+
+// NormalCDF returns the CDF of a normal distribution with the given mean
+// and standard deviation, evaluated at x. sigma must be > 0.
+func NormalCDF(x, mean, sigma float64) float64 {
+	if sigma <= 0 {
+		panic("stats: NormalCDF with non-positive sigma")
+	}
+	return 0.5 * math.Erfc(-(x-mean)/(sigma*math.Sqrt2))
+}
+
+// NormalPDF returns the density of a normal distribution with the given
+// mean and standard deviation, evaluated at x. sigma must be > 0.
+func NormalPDF(x, mean, sigma float64) float64 {
+	if sigma <= 0 {
+		panic("stats: NormalPDF with non-positive sigma")
+	}
+	z := (x - mean) / sigma
+	return math.Exp(-0.5*z*z) / (sigma * math.Sqrt(2*math.Pi))
+}
+
+// NormalQuantile returns the inverse CDF of the standard normal
+// distribution at probability p in (0, 1), via the Acklam rational
+// approximation (relative error < 1.15e-9, ample for test thresholds).
+func NormalQuantile(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		panic("stats: NormalQuantile with p outside (0,1)")
+	}
+	// Coefficients for the central and tail regions.
+	a := [6]float64{-3.969683028665376e+01, 2.209460984245205e+02,
+		-2.759285104469687e+02, 1.383577518672690e+02,
+		-3.066479806614716e+01, 2.506628277459239e+00}
+	b := [5]float64{-5.447609879822406e+01, 1.615858368580409e+02,
+		-1.556989798598866e+02, 6.680131188771972e+01,
+		-1.328068155288572e+01}
+	c := [6]float64{-7.784894002430293e-03, -3.223964580411365e-01,
+		-2.400758277161838e+00, -2.549732539343734e+00,
+		4.374664141464968e+00, 2.938163982698783e+00}
+	d := [4]float64{7.784695709041462e-03, 3.224671290700398e-01,
+		2.445134137142996e+00, 3.754408661907416e+00}
+	const pLow = 0.02425
+	switch {
+	case p < pLow:
+		q := math.Sqrt(-2 * math.Log(p))
+		return (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p <= 1-pLow:
+		q := p - 0.5
+		r := q * q
+		return (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		return -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	}
+}

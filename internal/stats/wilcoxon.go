@@ -1,0 +1,120 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// WilcoxonResult holds the outcome of a Wilcoxon signed-rank test.
+type WilcoxonResult struct {
+	// W is the signed-rank statistic: the smaller of the positive-rank and
+	// negative-rank sums.
+	W float64
+	// Z is the normal-approximation z score (with tie and continuity
+	// corrections).
+	Z float64
+	// P is the two-sided p-value from the normal approximation.
+	P float64
+	// N is the number of non-zero paired differences used.
+	N int
+}
+
+// Reject reports whether the null hypothesis ("paired samples come from
+// the same distribution") is rejected at significance level alpha. The
+// paper uses alpha = 0.05 for its repeatability analysis (§5.3.4).
+func (r WilcoxonResult) Reject(alpha float64) bool { return r.P < alpha }
+
+// ErrAllZeroDiffs is returned when every paired difference is exactly
+// zero, in which case the samples are identical and no test is needed.
+var ErrAllZeroDiffs = errors.New("stats: wilcoxon: all paired differences are zero")
+
+// Wilcoxon runs a two-sided Wilcoxon signed-rank test on paired samples a
+// and b using the normal approximation with tie correction and a 0.5
+// continuity correction (matching scipy's default "wilcox" zero handling:
+// zero differences are dropped).
+//
+// The paper applies this test pair-wise to node-level disk-usage and
+// reserved-core distributions from three repeated experiments to show the
+// PLB's non-determinism does not significantly change outcomes.
+func Wilcoxon(a, b []float64) (WilcoxonResult, error) {
+	if len(a) != len(b) {
+		return WilcoxonResult{}, errors.New("stats: wilcoxon length mismatch")
+	}
+	type diff struct {
+		abs  float64
+		sign float64
+	}
+	diffs := make([]diff, 0, len(a))
+	for i := range a {
+		d := a[i] - b[i]
+		if d == 0 {
+			continue
+		}
+		s := 1.0
+		if d < 0 {
+			s = -1.0
+		}
+		diffs = append(diffs, diff{abs: math.Abs(d), sign: s})
+	}
+	n := len(diffs)
+	if n == 0 {
+		return WilcoxonResult{}, ErrAllZeroDiffs
+	}
+	sort.Slice(diffs, func(i, j int) bool { return diffs[i].abs < diffs[j].abs })
+
+	// Assign mid-ranks, accumulating the tie correction term sum(t^3 - t).
+	ranks := make([]float64, n)
+	tieTerm := 0.0
+	for i := 0; i < n; {
+		j := i
+		for j < n && diffs[j].abs == diffs[i].abs {
+			j++
+		}
+		// Ranks i+1 .. j share the average rank.
+		avg := float64(i+1+j) / 2
+		for k := i; k < j; k++ {
+			ranks[k] = avg
+		}
+		t := float64(j - i)
+		if t > 1 {
+			tieTerm += t*t*t - t
+		}
+		i = j
+	}
+
+	var wPlus, wMinus float64
+	for i, d := range diffs {
+		if d.sign > 0 {
+			wPlus += ranks[i]
+		} else {
+			wMinus += ranks[i]
+		}
+	}
+	w := math.Min(wPlus, wMinus)
+
+	fn := float64(n)
+	meanW := fn * (fn + 1) / 4
+	varW := fn*(fn+1)*(2*fn+1)/24 - tieTerm/48
+	if varW <= 0 {
+		// All differences tied at one magnitude with n == 1, or complete
+		// tie degeneracy: no distributional information.
+		return WilcoxonResult{W: w, Z: 0, P: 1, N: n}, nil
+	}
+	// Continuity correction toward the mean.
+	num := w - meanW
+	var z float64
+	switch {
+	case num > 0:
+		z = (num - 0.5) / math.Sqrt(varW)
+	case num < 0:
+		z = (num + 0.5) / math.Sqrt(varW)
+	default:
+		z = 0
+	}
+	p := 2 * (1 - NormalCDF(math.Abs(z), 0, 1))
+	if p > 1 {
+		p = 1
+	}
+	return WilcoxonResult{W: w, Z: z, P: p, N: n}, nil
+}

@@ -1,0 +1,134 @@
+package stats
+
+import (
+	"testing"
+
+	"toto/internal/rng"
+)
+
+func TestWilcoxonIdenticalSamples(t *testing.T) {
+	a := []float64{1, 2, 3}
+	if _, err := Wilcoxon(a, a); err != ErrAllZeroDiffs {
+		t.Fatalf("identical samples: err = %v, want ErrAllZeroDiffs", err)
+	}
+}
+
+func TestWilcoxonLengthMismatch(t *testing.T) {
+	if _, err := Wilcoxon([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch not rejected")
+	}
+}
+
+func TestWilcoxonNoDifference(t *testing.T) {
+	// Paired samples from the same distribution: should not reject.
+	src := rng.New(1)
+	rejected := 0
+	for trial := 0; trial < 20; trial++ {
+		a := make([]float64, 80)
+		b := make([]float64, 80)
+		for i := range a {
+			base := src.Normal(10, 3)
+			a[i] = base + src.Normal(0, 1)
+			b[i] = base + src.Normal(0, 1)
+		}
+		res, err := Wilcoxon(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Reject(0.05) {
+			rejected++
+		}
+	}
+	if rejected > 3 {
+		t.Errorf("rejected %d of 20 null-true pairs at alpha=0.05", rejected)
+	}
+}
+
+func TestWilcoxonDetectsShift(t *testing.T) {
+	src := rng.New(2)
+	detected := 0
+	for trial := 0; trial < 10; trial++ {
+		a := make([]float64, 80)
+		b := make([]float64, 80)
+		for i := range a {
+			base := src.Normal(10, 3)
+			a[i] = base + src.Normal(0, 1)
+			b[i] = base + src.Normal(1.0, 1) // systematic +1 shift
+		}
+		res, err := Wilcoxon(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Reject(0.05) {
+			detected++
+		}
+	}
+	if detected < 9 {
+		t.Errorf("detected shift in only %d of 10 trials", detected)
+	}
+}
+
+func TestWilcoxonKnownExample(t *testing.T) {
+	// Classic textbook pairs (Wilcoxon's original-style example).
+	a := []float64{125, 115, 130, 140, 140, 115, 140, 125, 140, 135}
+	b := []float64{110, 122, 125, 120, 140, 124, 123, 137, 135, 145}
+	res, err := Wilcoxon(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One pair ties (140, 140) and is dropped: n = 9. W should be the
+	// smaller rank sum; the classic answer is W = 18 for this data.
+	if res.N != 9 {
+		t.Errorf("N = %d, want 9", res.N)
+	}
+	if res.W != 18 {
+		t.Errorf("W = %v, want 18", res.W)
+	}
+	if res.Reject(0.05) {
+		t.Errorf("known insignificant example rejected: p=%v", res.P)
+	}
+}
+
+func TestWilcoxonZeroDiffsDropped(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	b := []float64{1, 2, 3, 4, 6, 7, 8, 9} // four zero diffs
+	res, err := Wilcoxon(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.N != 4 {
+		t.Errorf("N = %d, want 4 (zero diffs dropped)", res.N)
+	}
+}
+
+func TestWilcoxonSingleDifference(t *testing.T) {
+	a := []float64{1, 1, 1}
+	b := []float64{1, 1, 2}
+	res, err := Wilcoxon(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.N != 1 {
+		t.Errorf("N = %d, want 1", res.N)
+	}
+	if res.P < 0 || res.P > 1 {
+		t.Errorf("P = %v out of range", res.P)
+	}
+}
+
+func TestWilcoxonHandlesTies(t *testing.T) {
+	// Many tied magnitudes exercise the mid-rank and tie-correction path.
+	a := []float64{1, 2, 3, 4, 5, 6}
+	b := []float64{2, 3, 4, 5, 6, 7} // all diffs are -1
+	res, err := Wilcoxon(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All differences equal: W+ = 0, W- = 21, W = 0.
+	if res.W != 0 {
+		t.Errorf("W = %v, want 0", res.W)
+	}
+	if res.P < 0 || res.P > 1 {
+		t.Errorf("P = %v", res.P)
+	}
+}

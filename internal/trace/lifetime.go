@@ -1,0 +1,94 @@
+package trace
+
+import (
+	"fmt"
+	"time"
+
+	"toto/internal/rng"
+	"toto/internal/slo"
+)
+
+// DBEvent is one per-database lifecycle observation in a region trace:
+// the creation time and, if the database was dropped inside the
+// observation window, the drop time. The aggregate create/drop counts the
+// paper trains on (§4.1) are a projection of this stream; per-database
+// lifetimes are what its §5.5 refinement ("model an individual database's
+// lifetime") needs.
+type DBEvent struct {
+	DB      string
+	Edition slo.Edition
+	Created time.Time
+	// Dropped is zero when the database survives the window (censored).
+	Dropped time.Time
+}
+
+// Lifetime returns the observed lifetime and whether it is complete
+// (false = right-censored: the database outlived the window).
+func (e DBEvent) Lifetime(windowEnd time.Time) (time.Duration, bool) {
+	if e.Dropped.IsZero() || e.Dropped.After(windowEnd) {
+		return windowEnd.Sub(e.Created), false
+	}
+	return e.Dropped.Sub(e.Created), true
+}
+
+// LifetimeConfig parameterizes the per-database event stream.
+type LifetimeConfig struct {
+	Seed uint64
+	// Databases created over the window, per edition.
+	Databases map[slo.Edition]int
+	// Days is the observation window.
+	Days int
+	// LongLivedFraction of databases never drop (most production
+	// databases are long-lived; short-lived ones dominate the drop
+	// stream).
+	LongLivedFraction float64
+	// ShortLifetimeHours is the uniform range of short-lived databases'
+	// lifetimes.
+	ShortLifetimeHours [2]float64
+}
+
+// DefaultLifetimeConfig mirrors the population structure the churn traces
+// imply: roughly two thirds of created databases stick around, the rest
+// live hours to a few days (dev/test and ETL scratch databases).
+func DefaultLifetimeConfig(seed uint64) LifetimeConfig {
+	return LifetimeConfig{
+		Seed: seed,
+		Databases: map[slo.Edition]int{
+			slo.StandardGP: 600,
+			slo.PremiumBC:  90,
+		},
+		Days:               28,
+		LongLivedFraction:  0.65,
+		ShortLifetimeHours: [2]float64{2, 96},
+	}
+}
+
+// GenerateDBEvents samples a per-database lifecycle stream.
+func GenerateDBEvents(cfg LifetimeConfig) []DBEvent {
+	if cfg.Days <= 0 {
+		panic("trace: non-positive window")
+	}
+	root := rng.New(cfg.Seed)
+	window := time.Duration(cfg.Days) * 24 * time.Hour
+	var out []DBEvent
+	for _, e := range slo.Editions() {
+		src := root.Split("lifetimes/" + e.String())
+		for i := 0; i < cfg.Databases[e]; i++ {
+			created := Epoch.Add(time.Duration(src.Float64() * float64(window)))
+			ev := DBEvent{
+				DB:      fmt.Sprintf("life-%s-%04d", e.String(), i),
+				Edition: e,
+				Created: created,
+			}
+			if !src.Bernoulli(cfg.LongLivedFraction) {
+				hours := src.UniformRange(cfg.ShortLifetimeHours[0], cfg.ShortLifetimeHours[1])
+				dropped := created.Add(time.Duration(hours * float64(time.Hour)))
+				if dropped.Before(Epoch.Add(window)) {
+					ev.Dropped = dropped
+				}
+			}
+			out = append(out, ev)
+		}
+	}
+	return out
+}

@@ -1,0 +1,179 @@
+// Package trainer implements the model-building pipeline of paper §4: it
+// aggregates production telemetry (here, synthetic traces from
+// internal/trace) into hourly training sets, fits the candidate
+// probability distributions, validates normality with the
+// Kolmogorov-Smirnov test (Figure 7), selects the "hourly normal" models
+// the paper adopts, partitions Delta Disk Usage into steady-state /
+// initial-creation / predictable-rapid-growth subsets (§4.2), and
+// assembles the deployable ModelSet.
+package trainer
+
+import (
+	"fmt"
+	"time"
+
+	"toto/internal/models"
+	"toto/internal/rng"
+	"toto/internal/slo"
+	"toto/internal/stats"
+	"toto/internal/trace"
+)
+
+// CountKind distinguishes the Create DB from the Drop DB models; they are
+// trained separately because the paper found their patterns differ
+// (§4.1).
+type CountKind string
+
+// The two event-count model kinds.
+const (
+	KindCreate CountKind = "create"
+	KindDrop   CountKind = "drop"
+)
+
+// CountTraining is the outcome of training one edition's create or drop
+// model: the 48-cell hourly normal plus per-cell diagnostics.
+type CountTraining struct {
+	Edition slo.Edition
+	Kind    CountKind
+	// Samples holds the hourly training sets keyed by bucket.
+	Samples map[models.HourBucket][]float64
+	// Model is the fitted hourly normal (region level; scale by ring
+	// share at deployment).
+	Model *models.HourlyNormal
+	// KS holds the per-bucket K-S normality test results (Figure 7).
+	KS map[models.HourBucket]stats.KSResult
+}
+
+// TrainCounts fits an hourly normal to a region-level hourly count trace.
+func TrainCounts(counts []trace.HourCount, edition slo.Edition, kind CountKind) *CountTraining {
+	ct := &CountTraining{
+		Edition: edition,
+		Kind:    kind,
+		Samples: make(map[models.HourBucket][]float64),
+		Model:   models.NewHourlyNormal(),
+		KS:      make(map[models.HourBucket]stats.KSResult),
+	}
+	for _, hc := range counts {
+		b := models.BucketOf(hc.Time)
+		ct.Samples[b] = append(ct.Samples[b], float64(hc.Count))
+	}
+	for b, xs := range ct.Samples {
+		np, err := stats.FitNormal(xs)
+		if err != nil {
+			continue // bucket never observed; leave the cell zero
+		}
+		ct.Model.Set(b, models.NormalParam{Mean: np.Mean, Sigma: np.Sigma})
+		ct.KS[b] = stats.KSTestNormal(xs)
+	}
+	return ct
+}
+
+// PValues returns the 24 hourly K-S p-values for the weekday or weekend
+// half of the model — one box plot of Figure 7. Hours that were never
+// observed are omitted.
+func (ct *CountTraining) PValues(weekend bool) []float64 {
+	var out []float64
+	for h := 0; h < 24; h++ {
+		if ks, ok := ct.KS[models.HourBucket{Weekend: weekend, Hour: h}]; ok {
+			out = append(out, ks.P)
+		}
+	}
+	return out
+}
+
+// RejectedCells counts buckets whose normality hypothesis is rejected at
+// alpha. The paper saw only "a few of them for the Premium/BC weekday
+// drop" rejected at 0.05.
+func (ct *CountTraining) RejectedCells(alpha float64) int {
+	n := 0
+	for _, ks := range ct.KS {
+		if ks.Reject(alpha) {
+			n++
+		}
+	}
+	return n
+}
+
+// CompareCellDistributions fits all four candidate distributions (§4.1.3)
+// to one bucket's training set.
+func (ct *CountTraining) CompareCellDistributions(b models.HourBucket) []stats.DistributionFit {
+	xs := ct.Samples[b]
+	if len(xs) == 0 {
+		return nil
+	}
+	return stats.CompareDistributions(xs)
+}
+
+// SimulateCounts draws one simulated hourly count series of the given
+// length from the trained model, reproducing the validation runs behind
+// Figure 8 ("they were executed in a simulated environment 100 times").
+// share scales the region-level parameters (1 for region-level
+// validation).
+func SimulateCounts(model *models.HourlyNormal, days int, share float64, seed uint64) []int {
+	src := rng.New(seed)
+	hours := days * 24
+	out := make([]int, hours)
+	for h := 0; h < hours; h++ {
+		t := trace.Epoch.Add(time.Duration(h) * time.Hour)
+		p := model.At(t)
+		v := src.Normal(p.Mean*share, p.Sigma*share)
+		if v > 0 {
+			out[h] = int(v + 0.5)
+		}
+	}
+	return out
+}
+
+// SimulationEnsemble runs n independent simulations and returns the
+// per-hour mean alongside the runs, matching Figure 8's "mean of the 100
+// modeled curves".
+func SimulationEnsemble(model *models.HourlyNormal, days, n int, share float64, seed uint64) (runs [][]int, mean []float64) {
+	hours := days * 24
+	runs = make([][]int, n)
+	mean = make([]float64, hours)
+	for i := 0; i < n; i++ {
+		runs[i] = SimulateCounts(model, days, share, seed+uint64(i)*1000003)
+		for h, c := range runs[i] {
+			mean[h] += float64(c)
+		}
+	}
+	for h := range mean {
+		mean[h] /= float64(n)
+	}
+	return runs, mean
+}
+
+// Validation summarizes how closely a simulation ensemble tracks the
+// production series.
+type Validation struct {
+	// RMSE is between the ensemble mean and the production series.
+	RMSE float64
+	// DTW is between the ensemble mean and the production series.
+	DTW float64
+	// ProductionTotal and ModelTotal compare cumulative event counts.
+	ProductionTotal float64
+	ModelTotal      float64
+}
+
+// Validate scores an ensemble mean against the production hourly series.
+func Validate(production []trace.HourCount, ensembleMean []float64) (Validation, error) {
+	if len(production) != len(ensembleMean) {
+		return Validation{}, fmt.Errorf("trainer: series length mismatch %d vs %d", len(production), len(ensembleMean))
+	}
+	prod := make([]float64, len(production))
+	var pTot, mTot float64
+	for i, hc := range production {
+		prod[i] = float64(hc.Count)
+		pTot += prod[i]
+		mTot += ensembleMean[i]
+	}
+	rmse, err := stats.RMSE(prod, ensembleMean)
+	if err != nil {
+		return Validation{}, err
+	}
+	dtw, err := stats.DTWWindow(prod, ensembleMean, 12)
+	if err != nil {
+		return Validation{}, err
+	}
+	return Validation{RMSE: rmse, DTW: dtw, ProductionTotal: pTot, ModelTotal: mTot}, nil
+}

@@ -1,0 +1,64 @@
+package trainer
+
+import (
+	"time"
+
+	"toto/internal/models"
+	"toto/internal/slo"
+	"toto/internal/stats"
+	"toto/internal/trace"
+)
+
+// LifetimeTraining is the outcome of fitting a per-database lifetime
+// model (the §5.5 refinement of the aggregate Drop DB model) to a
+// per-database event stream.
+type LifetimeTraining struct {
+	Edition slo.Edition
+	// Observed counts complete (dropped-in-window) lifetimes; Censored
+	// counts databases that outlived the window.
+	Observed, Censored int
+	// Model is the deployable lifetime model.
+	Model *models.LifetimeModel
+}
+
+// TrainLifetime fits a LifetimeModel for one edition: databases that
+// survive the observation window are treated as long-lived (their share
+// estimates LongLivedFraction, corrected for the expected censoring of
+// short-lived databases created near the window's end), and observed
+// lifetimes are bucketed into equi-probable bins like the paper's other
+// magnitude models.
+func TrainLifetime(events []trace.DBEvent, edition slo.Edition, windowEnd time.Time, bins int) *LifetimeTraining {
+	lt := &LifetimeTraining{Edition: edition}
+	var hours []float64
+	for _, ev := range events {
+		if ev.Edition != edition {
+			continue
+		}
+		d, complete := ev.Lifetime(windowEnd)
+		if !complete {
+			lt.Censored++
+			continue
+		}
+		lt.Observed++
+		hours = append(hours, d.Hours())
+	}
+	total := lt.Observed + lt.Censored
+	if total == 0 {
+		return lt
+	}
+	model := &models.LifetimeModel{
+		LongLivedFraction: float64(lt.Censored) / float64(total),
+	}
+	if len(hours) > 0 {
+		k := bins
+		if k > len(hours) {
+			k = len(hours)
+		}
+		edges := stats.EquiProbableBins(hours, k)
+		for i := 0; i+1 < len(edges); i++ {
+			model.Bins = append(model.Bins, models.GrowthBin{LoGB: edges[i], HiGB: edges[i+1]})
+		}
+	}
+	lt.Model = model
+	return lt
+}

@@ -1,0 +1,103 @@
+package trainer
+
+import (
+	"testing"
+	"time"
+
+	"toto/internal/rng"
+	"toto/internal/slo"
+	"toto/internal/stats"
+	"toto/internal/trace"
+)
+
+func TestTrainLifetimeRecoversStructure(t *testing.T) {
+	cfg := trace.DefaultLifetimeConfig(5)
+	events := trace.GenerateDBEvents(cfg)
+	windowEnd := trace.Epoch.Add(time.Duration(cfg.Days) * 24 * time.Hour)
+
+	for _, e := range slo.Editions() {
+		lt := TrainLifetime(events, e, windowEnd, 5)
+		if lt.Model == nil {
+			t.Fatalf("%s: no model", e)
+		}
+		if lt.Observed+lt.Censored != cfg.Databases[e] {
+			t.Errorf("%s: %d+%d != %d databases", e, lt.Observed, lt.Censored, cfg.Databases[e])
+		}
+		// The censored share over-estimates the true long-lived fraction
+		// slightly (short-lived databases created near the window end are
+		// censored too), so accept [cfg value, cfg value + 10pp].
+		if lt.Model.LongLivedFraction < cfg.LongLivedFraction-0.05 ||
+			lt.Model.LongLivedFraction > cfg.LongLivedFraction+0.12 {
+			t.Errorf("%s: long-lived fraction = %v, generator used %v",
+				e, lt.Model.LongLivedFraction, cfg.LongLivedFraction)
+		}
+		// Observed lifetimes were uniform on [2, 96] hours; the bin edges
+		// must span roughly that range.
+		bins := lt.Model.Bins
+		if len(bins) != 5 {
+			t.Fatalf("%s: bins = %d", e, len(bins))
+		}
+		if bins[0].LoGB < 1 || bins[0].LoGB > 6 {
+			t.Errorf("%s: first edge = %v, want ~2", e, bins[0].LoGB)
+		}
+		if last := bins[len(bins)-1].HiGB; last < 85 || last > 96 {
+			t.Errorf("%s: last edge = %v, want ~96", e, last)
+		}
+	}
+}
+
+func TestTrainedLifetimeSamplesMatchGenerator(t *testing.T) {
+	cfg := trace.DefaultLifetimeConfig(6)
+	events := trace.GenerateDBEvents(cfg)
+	windowEnd := trace.Epoch.Add(time.Duration(cfg.Days) * 24 * time.Hour)
+	lt := TrainLifetime(events, slo.StandardGP, windowEnd, 5)
+
+	src := rng.New(7)
+	var sampled []float64
+	long := 0
+	const n = 5000
+	for i := 0; i < n; i++ {
+		d, ok := lt.Model.SampleLifetime(src)
+		if !ok {
+			long++
+			continue
+		}
+		sampled = append(sampled, d.Hours())
+	}
+	frac := float64(long) / n
+	if frac < lt.Model.LongLivedFraction-0.03 || frac > lt.Model.LongLivedFraction+0.03 {
+		t.Errorf("sampled long-lived fraction = %v, model = %v", frac, lt.Model.LongLivedFraction)
+	}
+	// Sampled short lifetimes should center near the training mean.
+	var training []float64
+	for _, ev := range events {
+		if ev.Edition != slo.StandardGP {
+			continue
+		}
+		if d, complete := ev.Lifetime(windowEnd); complete {
+			training = append(training, d.Hours())
+		}
+	}
+	if diff := stats.Mean(sampled) - stats.Mean(training); diff < -6 || diff > 6 {
+		t.Errorf("sampled mean %v vs training mean %v", stats.Mean(sampled), stats.Mean(training))
+	}
+}
+
+func TestTrainLifetimeEmpty(t *testing.T) {
+	lt := TrainLifetime(nil, slo.StandardGP, trace.Epoch, 5)
+	if lt.Model != nil || lt.Observed != 0 || lt.Censored != 0 {
+		t.Errorf("empty training = %+v", lt)
+	}
+}
+
+func TestDBEventCensoring(t *testing.T) {
+	end := trace.Epoch.Add(24 * time.Hour)
+	alive := trace.DBEvent{Created: trace.Epoch.Add(time.Hour)}
+	if d, complete := alive.Lifetime(end); complete || d != 23*time.Hour {
+		t.Errorf("censored lifetime = %v, %v", d, complete)
+	}
+	dropped := trace.DBEvent{Created: trace.Epoch, Dropped: trace.Epoch.Add(5 * time.Hour)}
+	if d, complete := dropped.Lifetime(end); !complete || d != 5*time.Hour {
+		t.Errorf("complete lifetime = %v, %v", d, complete)
+	}
+}
