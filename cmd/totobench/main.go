@@ -23,6 +23,7 @@ import (
 
 	"toto/internal/bench"
 	"toto/internal/core"
+	"toto/internal/obs"
 	"toto/internal/slo"
 )
 
@@ -32,7 +33,14 @@ func main() {
 	repeats := flag.Int("repeats", 3, "repeatability runs for fig13")
 	repeatHours := flag.Int("repeat-hours", 18, "repeatability run length in hours")
 	seed := flag.Uint64("seed", 0, "offset added to all default seeds (0 = paper defaults)")
+	obsFlags := obs.BindFlags(flag.CommandLine)
 	flag.Parse()
+
+	sess, err := obsFlags.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "totobench:", err)
+		os.Exit(1)
+	}
 
 	want := map[string]bool{}
 	all := *runFlag == "all"
@@ -49,6 +57,9 @@ func main() {
 
 	out := os.Stdout
 	fail := func(err error) {
+		// Flush whatever trace/metrics/profile data exists before dying,
+		// so a failed run is still diagnosable.
+		_ = sess.Close()
 		fmt.Fprintln(os.Stderr, "totobench:", err)
 		os.Exit(1)
 	}
@@ -106,6 +117,7 @@ func main() {
 		cfg := bench.DefaultStudyConfig()
 		cfg.Days = *days
 		cfg.Seeds = seeds
+		cfg.Obs = sess.Obs
 		study, err := bench.RunStudy(cfg)
 		if err != nil {
 			fail(err)
@@ -180,5 +192,10 @@ func main() {
 		}
 		f13.Print(out)
 		fmt.Fprintln(out)
+	}
+
+	if err := sess.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "totobench:", err)
+		os.Exit(1)
 	}
 }

@@ -36,6 +36,7 @@ import (
 
 	"toto/internal/core"
 	"toto/internal/models"
+	"toto/internal/obs"
 	"toto/internal/slo"
 	"toto/internal/telemetry"
 )
@@ -45,9 +46,16 @@ func main() {
 	density := flag.Float64("density", 0, "override density factor")
 	days := flag.Float64("days", 0, "override measured window in days")
 	outDir := flag.String("out", "", "write telemetry CSVs to this directory")
+	obsFlags := obs.BindFlags(flag.CommandLine)
 	flag.Parse()
 
+	sess, err := obsFlags.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "totosim:", err)
+		os.Exit(1)
+	}
 	fail := func(err error) {
+		_ = sess.Close() // flush partial observability artifacts
 		fmt.Fprintln(os.Stderr, "totosim:", err)
 		os.Exit(1)
 	}
@@ -88,8 +96,12 @@ func main() {
 	}
 
 	sc := spec.Build(set)
+	sc.Obs = sess.Obs
 	res, err := core.Run(sc)
 	if err != nil {
+		fail(err)
+	}
+	if err := sess.Close(); err != nil {
 		fail(err)
 	}
 

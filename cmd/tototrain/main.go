@@ -17,6 +17,7 @@ import (
 
 	"toto/internal/bench"
 	"toto/internal/core"
+	"toto/internal/obs"
 	"toto/internal/slo"
 	"toto/internal/trace"
 	"toto/internal/trainer"
@@ -26,9 +27,23 @@ func main() {
 	seed := flag.Uint64("seed", 42, "training seed (drives trace generation and fitting)")
 	outPath := flag.String("o", "", "write the model XML to this file (default stdout)")
 	validate := flag.Bool("validate", false, "print the §4 validation report (K-S tests, Figure 8/9 checks)")
+	obsFlags := obs.BindFlags(flag.CommandLine)
 	flag.Parse()
 
+	sess, err := obsFlags.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tototrain:", err)
+		os.Exit(1)
+	}
+	fail := func(err error) {
+		_ = sess.Close()
+		fmt.Fprintln(os.Stderr, "tototrain:", err)
+		os.Exit(1)
+	}
+
+	sp := sess.Obs.Span("train.models", obs.I64("seed", int64(*seed)))
 	tm := core.TrainDefaultModels(*seed)
+	sp.End(obs.Int("disk_traces", len(tm.DiskTraces)))
 
 	if *validate {
 		report(tm, *seed)
@@ -36,19 +51,23 @@ func main() {
 
 	data, err := tm.Set.EncodeXML()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "tototrain:", err)
-		os.Exit(1)
+		fail(err)
 	}
 	if *outPath == "" {
 		os.Stdout.Write(data)
 		fmt.Println()
+		if err := sess.Close(); err != nil {
+			fail(err)
+		}
 		return
 	}
 	if err := os.WriteFile(*outPath, data, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "tototrain:", err)
-		os.Exit(1)
+		fail(err)
 	}
 	fmt.Fprintf(os.Stderr, "tototrain: wrote %d bytes of model XML to %s\n", len(data), *outPath)
+	if err := sess.Close(); err != nil {
+		fail(err)
+	}
 }
 
 // report prints the training diagnostics the paper's §4 walks through.

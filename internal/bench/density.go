@@ -14,6 +14,7 @@ import (
 
 	"toto/internal/asciichart"
 	"toto/internal/core"
+	"toto/internal/obs"
 	"toto/internal/slo"
 	"toto/internal/stats"
 )
@@ -32,6 +33,10 @@ type StudyConfig struct {
 	Days int
 	// Densities are the levels to run.
 	Densities []float64
+	// Obs, when set, instruments every run of the study. Each density
+	// run gets its own span track (forked from this handle) while all
+	// runs aggregate into the same metrics registry and trace buffer.
+	Obs *obs.Obs
 }
 
 // DefaultStudyConfig returns the paper's §5.2 setup.
@@ -65,8 +70,12 @@ func RunStudy(cfg StudyConfig) (*Study, error) {
 			defer wg.Done()
 			seeds := cfg.Seeds
 			seeds.PLB = cfg.Seeds.PLB + uint64(i+1)*7919 // same ladder as core.DensityStudy
-			sc := core.DefaultScenario(fmt.Sprintf("density-%.0f%%", d*100), d, tm.Set, seeds)
+			name := fmt.Sprintf("density-%.0f%%", d*100)
+			sc := core.DefaultScenario(name, d, tm.Set, seeds)
 			sc.Duration = time.Duration(cfg.Days) * 24 * time.Hour
+			// Each parallel run records onto its own span track; the
+			// registry and trace buffer are shared.
+			sc.Obs = cfg.Obs.Fork(name)
 			results[i], errs[i] = core.Run(sc)
 		}(i, d)
 	}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"toto/internal/models"
+	"toto/internal/obs"
 	"toto/internal/revenue"
 	"toto/internal/slo"
 	"toto/internal/telemetry"
@@ -96,6 +97,15 @@ func Run(s *Scenario) (*Result, error) {
 	}
 	defer o.Stop()
 
+	// Root span of the whole run. Error paths leave spans unended, which
+	// simply keeps them out of the trace — the run failed anyway.
+	runSp := s.Obs.Span("core.run",
+		obs.Str("scenario", s.Name),
+		obs.Float("density", s.Density),
+		obs.Int("nodes", s.Nodes),
+	)
+	s.Obs.Log().Infof("core: run %q starting (density %.0f%%, %d nodes)", s.Name, s.Density*100, s.Nodes)
+
 	// Phase 1: frozen models.
 	frozen := cloneFrozen(s.Models, true)
 	if err := o.WriteModels(frozen); err != nil {
@@ -104,11 +114,17 @@ func Run(s *Scenario) (*Result, error) {
 	o.Start()
 
 	// Phase 2: bootstrap.
+	bootSp := s.Obs.Span("core.bootstrap")
 	counts, err := o.BootstrapPopulation()
 	if err != nil {
 		return nil, err
 	}
 	o.Clock.RunUntil(s.Start.Add(s.BootstrapDuration))
+	bootSp.End(
+		obs.Int("dbs", len(o.Cluster.LiveServices())),
+		obs.Float("reserved_cores", o.Cluster.ReservedCores()),
+		obs.Float("disk_gb", o.Cluster.DiskUsage()),
+	)
 
 	res := &Result{
 		Scenario:               s.Name,
@@ -127,6 +143,7 @@ func Run(s *Scenario) (*Result, error) {
 		return nil, fmt.Errorf("core: write live models: %w", err)
 	}
 	measureStart := o.Clock.Now()
+	measSp := s.Obs.Span("core.measure")
 	o.Recorder.Start()
 	o.PopMgr.Start()
 	if s.UpgradeStart > 0 {
@@ -137,6 +154,10 @@ func Run(s *Scenario) (*Result, error) {
 		o.Cluster.ScheduleRollingUpgrade(measureStart.Add(s.UpgradeStart), perNode)
 	}
 	o.Clock.RunUntil(measureStart.Add(s.Duration))
+	measSp.End(
+		obs.Int("failovers", o.Cluster.FailoverCount()),
+		obs.Float("reserved_cores", o.Cluster.ReservedCores()),
+	)
 
 	// Phase 4: collect and score.
 	res.Samples = o.Recorder.Samples()
@@ -180,6 +201,13 @@ func Run(s *Scenario) (*Result, error) {
 	res.BalanceMoves = o.Cluster.BalanceMoveCount()
 	res.PoolsProvisioned = len(o.Pools.Pools())
 	res.PoolMemberCreates, res.PoolMemberDrops = o.PopMgr.PoolStats()
+	runSp.End(
+		obs.Int("failovers", o.Cluster.FailoverCount()),
+		obs.Int("creates", res.Creates),
+		obs.Int("drops", res.Drops),
+		obs.Float("revenue", res.Revenue.Adjusted),
+	)
+	s.Obs.Log().Infof("core: run %q done: %d failovers, %d creates, %d drops", s.Name, o.Cluster.FailoverCount(), res.Creates, res.Drops)
 	return res, nil
 }
 

@@ -7,6 +7,7 @@ import (
 	"toto/internal/controlplane"
 	"toto/internal/fabric"
 	"toto/internal/models"
+	"toto/internal/obs"
 	"toto/internal/pools"
 	"toto/internal/population"
 	"toto/internal/rgmanager"
@@ -41,6 +42,7 @@ type Orchestrator struct {
 	lastReport    time.Time
 
 	tickers []*simclock.Ticker
+	obs     *obs.Obs
 }
 
 // NewOrchestrator builds (but does not start) a deployment for scenario.
@@ -49,10 +51,15 @@ func NewOrchestrator(s *Scenario) (*Orchestrator, error) {
 		return nil, err
 	}
 	clock := simclock.New(s.Start)
+	// Bind the observability layer to the simulation clock before any
+	// instrumented component runs, so every span and log line carries
+	// simulated timestamps.
+	s.Obs.SetNow(clock.Now)
 
 	cfg := fabric.DefaultConfig()
 	cfg.Density = s.Density
 	cfg.PLBSeed = s.Seeds.PLB
+	cfg.Obs = s.Obs
 	if s.PLBScanInterval > 0 {
 		cfg.ScanInterval = s.PLBScanInterval
 	}
@@ -75,13 +82,16 @@ func NewOrchestrator(s *Scenario) (*Orchestrator, error) {
 		dbinfo:        make(map[string]rgmanager.DBInfo),
 		diskGBSeconds: make(map[string]float64),
 		lastReport:    s.Start,
+		obs:           s.Obs,
 	}
 
 	// One RgManager per node, each with a unique seed split from the
 	// model seed (§5.2).
 	seedRoot := rng.New(s.Seeds.Models)
 	for _, n := range cluster.Nodes() {
-		o.managers[n.ID] = rgmanager.New(n.ID, cluster.Naming(), seedRoot.Split(n.ID).Uint64())
+		mgr := rgmanager.New(n.ID, cluster.Naming(), seedRoot.Split(n.ID).Uint64())
+		mgr.SetObs(s.Obs)
+		o.managers[n.ID] = mgr
 	}
 
 	o.Recorder = telemetry.NewRecorder(clock, cluster, s.TelemetryInterval, s.NodeTelemetryInterval, func(svc *fabric.Service) slo.Edition {
@@ -95,8 +105,11 @@ func NewOrchestrator(s *Scenario) (*Orchestrator, error) {
 		o.Recorder.RecordRedirect(db, sl.Edition, sl.Name, float64(sl.TotalCores()))
 	})
 
+	o.Recorder.RegisterMetrics(s.Obs.Registry())
+
 	o.Pools = pools.NewManager(o.Control)
 	o.PopMgr = population.New(clock, cluster.Naming(), o.Control, s.Seeds.Population)
+	o.PopMgr.SetObs(s.Obs)
 	o.PopMgr.OnCreated(func(svc *fabric.Service, sl slo.SLO, initialDiskGB float64) {
 		o.registerDB(svc, sl)
 		o.seedInitialLoad(svc, sl, initialDiskGB)
@@ -219,6 +232,19 @@ func (o *Orchestrator) Start() {
 			o.reportMemory(now)
 		}))
 	}
+	if o.obs != nil {
+		// Hourly heartbeat band on the sim timeline: each simulated hour
+		// becomes one span carrying the headline cluster state, so a trace
+		// viewer shows the run's coarse progression at a glance.
+		o.tickers = append(o.tickers, o.Clock.Every(time.Hour, func(now time.Time) {
+			o.obs.Emit("core.sim_hour", now.Add(-time.Hour), time.Hour,
+				obs.Int("live_dbs", len(o.Cluster.LiveServices())),
+				obs.Float("reserved_cores", o.Cluster.ReservedCores()),
+				obs.Float("disk_gb", o.Cluster.DiskUsage()),
+				obs.Int("failovers_total", o.Cluster.FailoverCount()),
+			)
+		}))
+	}
 }
 
 // Stop halts everything the orchestrator scheduled.
@@ -237,6 +263,8 @@ func (o *Orchestrator) Stop() {
 // the PLB. Primaries report before secondaries so persisted-metric
 // secondaries read the freshly written value (§3.3.2).
 func (o *Orchestrator) reportDisk(now time.Time) {
+	sp := o.obs.Span("core.report_disk")
+	reports := 0
 	dt := now.Sub(o.lastReport).Seconds()
 	o.lastReport = now
 	for _, svc := range o.Cluster.LiveServices() {
@@ -270,6 +298,7 @@ func (o *Orchestrator) reportDisk(now time.Time) {
 			if err := o.Cluster.ReportLoad(rep.ID, fabric.MetricDiskGB, value); err != nil {
 				continue
 			}
+			reports++
 			if rep.Role == fabric.Primary {
 				primaryLoad = value
 			}
@@ -278,10 +307,13 @@ func (o *Orchestrator) reportDisk(now time.Time) {
 			o.diskGBSeconds[svc.Name] += primaryLoad * dt
 		}
 	}
+	sp.End(obs.Int("reports", reports))
 }
 
 // reportMemory drives one memory-report round.
 func (o *Orchestrator) reportMemory(now time.Time) {
+	sp := o.obs.Span("core.report_memory")
+	reports := 0
 	for _, svc := range o.Cluster.LiveServices() {
 		info, ok := o.dbinfo[svc.Name]
 		if !ok {
@@ -297,12 +329,15 @@ func (o *Orchestrator) reportMemory(now time.Time) {
 			}
 			if value, modeled := mgr.ReportMemory(rep, info, now); modeled {
 				_ = o.Cluster.ReportLoad(rep.ID, fabric.MetricMemoryGB, value)
+				reports++
 			}
 			if value, modeled := mgr.ReportCPU(rep, info, svc.ReservedCoresPerReplica, now); modeled {
 				_ = o.Cluster.ReportLoad(rep.ID, fabric.MetricCPUUsedCores, value)
+				reports++
 			}
 		}
 	}
+	sp.End(obs.Int("reports", reports))
 }
 
 // orderPrimaryFirst returns a service's replicas with the primary first.

@@ -13,6 +13,7 @@ import (
 
 	"toto/internal/fabric"
 	"toto/internal/models"
+	"toto/internal/obs"
 	"toto/internal/slo"
 )
 
@@ -100,6 +101,11 @@ type Scenario struct {
 	// flip PLB policies (greedy placement, degradation accounting,
 	// balancing) without widening the scenario surface.
 	FabricOverrides func(*fabricConfigAlias)
+	// Obs, when set, instruments the whole run: the orchestrator binds
+	// it to the simulation clock and threads it through the fabric, the
+	// population manager, every RgManager, and telemetry. nil (the
+	// default) disables all tracing and metrics at zero cost.
+	Obs *obs.Obs
 }
 
 // Validate checks scenario consistency.

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"time"
 
+	"toto/internal/obs"
 	"toto/internal/simclock"
 )
 
@@ -69,6 +70,9 @@ type Config struct {
 	// ScanInterval*DegradationFactor of downtime to every database whose
 	// primary sits on the violating node. 0 disables the accounting.
 	DegradationFactor float64
+	// Obs is the observability layer the cluster instruments itself with.
+	// nil (the default) disables all tracing and metrics at zero cost.
+	Obs *obs.Obs
 }
 
 // DefaultConfig returns production-like PLB settings.
@@ -105,6 +109,38 @@ type Cluster struct {
 	// counters for telemetry convenience
 	failoverEvents int
 	balanceMoves   int
+
+	obs     *obs.Obs
+	metrics clusterMetrics
+}
+
+// clusterMetrics caches the cluster's registry handles so hot paths bump
+// them with one atomic op and no map lookup. All handles are nil (free
+// no-ops) when the cluster has no observability layer.
+type clusterMetrics struct {
+	placements      *obs.Counter   // fabric.placement_attempts
+	placementFailed *obs.Counter   // fabric.placement_failures
+	annealIters     *obs.Counter   // fabric.annealing_iterations
+	failovers       *obs.Counter   // fabric.failovers
+	balanceMoves    *obs.Counter   // fabric.balance_moves
+	violationMoves  *obs.Counter   // fabric.violation_moves
+	movedDiskGB     *obs.Histogram // fabric.moved_disk_gb
+	buildSeconds    *obs.Histogram // fabric.build_seconds
+	downtimeSeconds *obs.Histogram // fabric.downtime_seconds
+}
+
+func newClusterMetrics(o *obs.Obs) clusterMetrics {
+	return clusterMetrics{
+		placements:      o.Counter("fabric.placement_attempts"),
+		placementFailed: o.Counter("fabric.placement_failures"),
+		annealIters:     o.Counter("fabric.annealing_iterations"),
+		failovers:       o.Counter("fabric.failovers"),
+		balanceMoves:    o.Counter("fabric.balance_moves"),
+		violationMoves:  o.Counter("fabric.violation_moves"),
+		movedDiskGB:     o.Histogram("fabric.moved_disk_gb"),
+		buildSeconds:    o.Histogram("fabric.build_seconds"),
+		downtimeSeconds: o.Histogram("fabric.downtime_seconds"),
+	}
 }
 
 // NewCluster builds a cluster of nodeCount identical nodes with the given
@@ -121,7 +157,13 @@ func NewCluster(clock *simclock.Clock, nodeCount int, nodeCapacity map[MetricNam
 		cfg:      cfg,
 		services: make(map[string]*Service),
 		naming:   NewNamingService(),
+		obs:      cfg.Obs,
+		metrics:  newClusterMetrics(cfg.Obs),
 	}
+	c.naming.instrument(
+		cfg.Obs.Counter("fabric.naming_reads"),
+		cfg.Obs.Counter("fabric.naming_writes"),
+	)
 	for i := 0; i < nodeCount; i++ {
 		c.nodes = append(c.nodes, newNode(fmt.Sprintf("node-%d", i), nodeCapacity))
 	}
@@ -431,10 +473,37 @@ func (c *Cluster) moveReplica(r *Replica, target *Node, metric MetricName, kind 
 	svc.Downtime += downtime
 	svc.FailoverCount++
 	svc.FailedOverCores += svc.ReservedCoresPerReplica
+	spanName := "fabric.failover"
 	if kind == EventFailover {
 		c.failoverEvents++
+		c.metrics.failovers.Inc()
 	} else {
 		c.balanceMoves++
+		c.metrics.balanceMoves.Inc()
+		spanName = "fabric.balance_move"
+	}
+	c.metrics.movedDiskGB.Observe(movedDisk)
+	c.metrics.buildSeconds.Observe(build.Seconds())
+	c.metrics.downtimeSeconds.Observe(downtime.Seconds())
+
+	// The move decision is instantaneous in sim time; its customer-visible
+	// downtime window and the replica rebuild are the regions worth seeing
+	// on the simulated timeline.
+	now := c.clock.Now()
+	c.obs.Emit(spanName, now, downtime,
+		obs.Str("replica", r.ID.String()),
+		obs.Str("metric", string(metric)),
+		obs.Str("from", fromID),
+		obs.Str("to", target.ID),
+		obs.Float("moved_disk_gb", movedDisk),
+		obs.DurMS("downtime_ms", downtime),
+	)
+	if build > 0 {
+		c.obs.Emit("fabric.replica_build", now, build,
+			obs.Str("replica", r.ID.String()),
+			obs.Str("node", target.ID),
+			obs.Float("disk_gb", movedDisk),
+		)
 	}
 
 	c.emit(Event{

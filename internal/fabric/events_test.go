@@ -1,0 +1,34 @@
+package fabric
+
+import "testing"
+
+// TestEventKindString covers every defined kind, including the
+// maintenance kinds that live in a separate iota block offset by 100,
+// and the unknown fallback.
+func TestEventKindString(t *testing.T) {
+	cases := []struct {
+		kind EventKind
+		want string
+	}{
+		{EventServiceCreated, "service-created"},
+		{EventServiceDropped, "service-dropped"},
+		{EventFailover, "failover"},
+		{EventBalanceMove, "balance-move"},
+		{EventNodeDown, "node-down"},
+		{EventNodeUp, "node-up"},
+		{EventKind(-1), "unknown"},
+		{EventKind(42), "unknown"},
+		{EventKind(999), "unknown"},
+	}
+	for _, c := range cases {
+		if got := c.kind.String(); got != c.want {
+			t.Errorf("EventKind(%d).String() = %q, want %q", int(c.kind), got, c.want)
+		}
+	}
+	// The maintenance kinds are deliberately offset so new core kinds
+	// can be appended without renumbering them.
+	if EventNodeDown != 100 || EventNodeUp != 101 {
+		t.Errorf("maintenance kinds renumbered: EventNodeDown=%d EventNodeUp=%d, want 100/101",
+			int(EventNodeDown), int(EventNodeUp))
+	}
+}

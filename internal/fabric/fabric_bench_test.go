@@ -2,9 +2,11 @@ package fabric
 
 import (
 	"fmt"
+	"io"
 	"testing"
 	"time"
 
+	"toto/internal/obs"
 	"toto/internal/simclock"
 )
 
@@ -110,10 +112,28 @@ func BenchmarkNamingService(b *testing.B) {
 // BenchmarkSimulatedDay measures a full simulated day on a churning
 // cluster: PLB scans plus hourly create/drop/report activity.
 func BenchmarkSimulatedDay(b *testing.B) {
+	benchmarkSimulatedDay(b, nil)
+}
+
+// BenchmarkSimulatedDayTraced is the paired run with the observability
+// layer enabled (tracer + metrics + discarded logging) — the delta vs
+// BenchmarkSimulatedDay is the full cost of instrumentation when on.
+func BenchmarkSimulatedDayTraced(b *testing.B) {
+	benchmarkSimulatedDay(b, func() *obs.Obs {
+		return obs.New(obs.Options{LogWriter: io.Discard, LogLevel: obs.LevelWarn})
+	})
+}
+
+func benchmarkSimulatedDay(b *testing.B, newObs func() *obs.Obs) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		clock := simclock.New(testStart)
 		cfg := DefaultConfig()
+		if newObs != nil {
+			o := newObs()
+			o.SetNow(clock.Now)
+			cfg.Obs = o
+		}
 		c := NewCluster(clock, 14, testCapacity(), cfg)
 		c.Start()
 		for j := 0; j < 200; j++ {
@@ -129,5 +149,27 @@ func BenchmarkSimulatedDay(b *testing.B) {
 		})
 		clock.RunUntil(testStart.Add(24 * time.Hour))
 		c.Stop()
+	}
+}
+
+// TestDisabledObsFabricZeroAlloc asserts the fabric's disabled-path
+// instrumentation allocates nothing: with Config.Obs nil, the span,
+// counter, and histogram calls on the PLB hot paths must all be no-ops.
+func TestDisabledObsFabricZeroAlloc(t *testing.T) {
+	c := NewCluster(simclock.New(testStart), 4, testCapacity(), DefaultConfig())
+	svc, err := c.CreateService("db", 1, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := svc.Replicas[0].ID
+	load := 0.0
+	if n := testing.AllocsPerRun(200, func() {
+		load += 1
+		if err := c.ReportLoad(id, MetricDiskGB, load); err != nil {
+			t.Fatal(err)
+		}
+		c.plb.scan(testStart)
+	}); n != 0 {
+		t.Errorf("disabled obs: ReportLoad+scan allocates %.1f per event, want 0", n)
 	}
 }

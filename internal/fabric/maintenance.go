@@ -3,6 +3,8 @@ package fabric
 import (
 	"fmt"
 	"time"
+
+	"toto/internal/obs"
 )
 
 // The paper's experiments ran on a live stage cluster "still subject to
@@ -37,6 +39,8 @@ func (c *Cluster) SetNodeDown(id string) (evacuated, stranded int, err error) {
 	if n.down {
 		return 0, 0, fmt.Errorf("fabric: node %q already down", id)
 	}
+	sp := c.obs.Span("fabric.node_drain", obs.Str("node", id))
+	c.obs.Counter("fabric.node_drains").Inc()
 	n.down = true // placement and targets exclude it from here on
 	for _, r := range n.Replicas() {
 		target := c.plb.chooseTarget(r)
@@ -47,7 +51,11 @@ func (c *Cluster) SetNodeDown(id string) (evacuated, stranded int, err error) {
 		c.moveReplica(r, target, MetricCores, EventBalanceMove)
 		evacuated++
 	}
+	if stranded > 0 {
+		c.obs.Log().Warnf("fabric: drain of %s stranded %d replicas", id, stranded)
+	}
 	c.emit(Event{Kind: EventNodeDown, Time: c.clock.Now(), From: id})
+	sp.End(obs.Int("evacuated", evacuated), obs.Int("stranded", stranded))
 	return evacuated, stranded, nil
 }
 
@@ -61,6 +69,7 @@ func (c *Cluster) SetNodeUp(id string) error {
 		return fmt.Errorf("fabric: node %q is not down", id)
 	}
 	n.down = false
+	c.obs.Instant("fabric.node_up", obs.Str("node", id))
 	c.emit(Event{Kind: EventNodeUp, Time: c.clock.Now(), To: id})
 	return nil
 }

@@ -4,6 +4,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"toto/internal/obs"
 )
 
 // NamingService is a highly available key-value metastore, modeled on
@@ -20,6 +22,10 @@ type NamingService struct {
 	entries map[string]namingEntry
 	version int64
 	reads   int64
+
+	// registry counters (nil-safe no-ops when observability is off)
+	cReads  *obs.Counter
+	cWrites *obs.Counter
 }
 
 type namingEntry struct {
@@ -32,9 +38,17 @@ func NewNamingService() *NamingService {
 	return &NamingService{entries: make(map[string]namingEntry)}
 }
 
+// instrument attaches registry counters for reads and writes. Called by
+// the owning cluster; nil counters keep the store uninstrumented.
+func (n *NamingService) instrument(reads, writes *obs.Counter) {
+	n.cReads = reads
+	n.cWrites = writes
+}
+
 // Put stores value under key and returns the new entry version. The value
 // is copied, so callers may reuse their buffer.
 func (n *NamingService) Put(key string, value []byte) int64 {
+	n.cWrites.Inc()
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.version++
@@ -45,6 +59,7 @@ func (n *NamingService) Put(key string, value []byte) int64 {
 // Get returns the value and version stored under key. The returned slice
 // is a copy.
 func (n *NamingService) Get(key string) (value []byte, version int64, ok bool) {
+	n.cReads.Inc()
 	n.mu.Lock()
 	n.reads++
 	n.mu.Unlock()

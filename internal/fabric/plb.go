@@ -5,6 +5,7 @@ import (
 	"sort"
 	"time"
 
+	"toto/internal/obs"
 	"toto/internal/rng"
 )
 
@@ -67,6 +68,28 @@ func (p *plb) nodeCost(n *Node, extra map[MetricName]float64) float64 {
 // nodes (index-aligned with svc.Replicas) or ErrInsufficientCores when no
 // feasible assignment exists. Nothing is attached; the caller commits.
 func (p *plb) place(svc *Service) ([]*Node, error) {
+	sp := p.cluster.obs.Span("plb.place",
+		obs.Str("service", svc.Name),
+		obs.Int("replicas", svc.ReplicaCount),
+		obs.Float("cores_per_replica", svc.ReservedCoresPerReplica),
+	)
+	p.cluster.metrics.placements.Inc()
+	nodes, feasible, iters, err := p.search(svc)
+	p.cluster.metrics.annealIters.Add(int64(iters))
+	if err != nil {
+		p.cluster.metrics.placementFailed.Inc()
+	}
+	sp.End(
+		obs.Int("feasible_nodes", feasible),
+		obs.Int("sa_iterations", iters),
+		obs.Bool("ok", err == nil),
+	)
+	return nodes, err
+}
+
+// search is place's decision procedure, returning the chosen nodes plus
+// the feasible-candidate count and annealing iterations for the span.
+func (p *plb) search(svc *Service) (chosen []*Node, feasibleCount, iterations int, err error) {
 	need := svc.ReservedCoresPerReplica
 	nodes := p.cluster.nodes
 
@@ -80,7 +103,7 @@ func (p *plb) place(svc *Service) ([]*Node, error) {
 		}
 	}
 	if len(feasible) < svc.ReplicaCount {
-		return nil, ErrInsufficientCores
+		return nil, len(feasible), 0, ErrInsufficientCores
 	}
 
 	// Greedy seed: most free cores first, breaking ties by fewest
@@ -99,7 +122,7 @@ func (p *plb) place(svc *Service) ([]*Node, error) {
 	copy(assign, feasible[:svc.ReplicaCount])
 
 	if p.cfg.GreedyPlacement || len(feasible) == svc.ReplicaCount {
-		return assign, nil
+		return assign, len(feasible), 0, nil
 	}
 
 	// Simulated annealing: perturb one replica's node at a time. The
@@ -133,6 +156,7 @@ func (p *plb) place(svc *Service) ([]*Node, error) {
 	bestCost := curCost
 	temp := p.cfg.SAInitialTemp
 	for it := 0; it < p.cfg.SAIterations; it++ {
+		iterations++
 		ri := p.rnd.Intn(len(assign))
 		cand := feasible[p.rnd.Intn(len(feasible))]
 		if cand == assign[ri] || used(assign, cand, ri) {
@@ -154,7 +178,7 @@ func (p *plb) place(svc *Service) ([]*Node, error) {
 		}
 		temp *= p.cfg.SACooling
 	}
-	return best, nil
+	return best, len(feasible), iterations, nil
 }
 
 // scan is the periodic PLB pass: account resource-wait degradation on
@@ -162,13 +186,17 @@ func (p *plb) place(svc *Service) ([]*Node, error) {
 // violations can only appear if density was lowered mid-run), then
 // optionally perform balancing moves.
 func (p *plb) scan(now time.Time) {
+	sp := p.cluster.obs.Span("plb.scan")
 	p.accrueDegradation()
+	moves := 0
 	for _, m := range []MetricName{MetricDiskGB, MetricMemoryGB, MetricCores} {
-		p.fixViolations(m)
+		moves += p.fixViolations(m)
 	}
 	if p.cfg.BalancingEnabled {
 		p.balance(now)
 	}
+	p.cluster.metrics.violationMoves.Add(int64(moves))
+	sp.End(obs.Int("violation_moves", moves))
 }
 
 // accrueDegradation adds resource-wait unavailability to every database
@@ -201,14 +229,24 @@ func (p *plb) accrueDegradation() {
 
 // fixViolations moves replicas off nodes whose load for metric m exceeds
 // capacity, until the node is under capacity or the per-violation move
-// budget is spent. Drained nodes are skipped: their replicas already
-// left, and any stranded ones have nowhere better to go.
-func (p *plb) fixViolations(m MetricName) {
+// budget is spent, returning the number of moves made. Drained nodes are
+// skipped: their replicas already left, and any stranded ones have
+// nowhere better to go.
+func (p *plb) fixViolations(m MetricName) int {
+	total := 0
 	// Stable node order keeps runs reproducible given a fixed PLB seed.
 	for _, n := range p.cluster.nodes {
-		if !n.Up() {
+		if !n.Up() || n.Load(m) <= p.capacity(n, m) {
 			continue
 		}
+		// The span opens only once a violation exists, so quiet scans add
+		// nothing to the trace.
+		sp := p.cluster.obs.Span("plb.fix_violations",
+			obs.Str("node", n.ID),
+			obs.Str("metric", string(m)),
+			obs.Float("load", n.Load(m)),
+			obs.Float("capacity", p.capacity(n, m)),
+		)
 		moves := 0
 		for n.Load(m) > p.capacity(n, m) && moves < p.cfg.MaxMovesPerViolation {
 			victim := p.chooseVictim(n, m)
@@ -222,7 +260,13 @@ func (p *plb) fixViolations(m MetricName) {
 			p.cluster.moveReplica(victim, target, m, EventFailover)
 			moves++
 		}
+		if moves == 0 {
+			p.cluster.obs.Log().Warnf("plb: violation on %s (%s) unresolved: no victim/target", n.ID, m)
+		}
+		sp.End(obs.Int("moves", moves), obs.Bool("cleared", n.Load(m) <= p.capacity(n, m)))
+		total += moves
 	}
+	return total
 }
 
 // chooseVictim picks the replica to move off overloaded node n. The
@@ -345,6 +389,13 @@ func (p *plb) balance(_ time.Time) {
 	if hi == nil || lo == nil || hi == lo || hiU-loU < p.cfg.BalanceSpread {
 		return
 	}
+	sp := p.cluster.obs.Span("plb.balance",
+		obs.Str("from", hi.ID),
+		obs.Str("to", lo.ID),
+		obs.Float("spread", hiU-loU),
+	)
+	moved := false
+	defer func() { sp.End(obs.Bool("moved", moved)) }()
 	// Move the smallest replica that narrows the gap, if feasible.
 	replicas := hi.Replicas()
 	sort.Slice(replicas, func(i, j int) bool {
@@ -374,6 +425,7 @@ func (p *plb) balance(_ time.Time) {
 		}
 		if feasible {
 			p.cluster.moveReplica(r, lo, MetricDiskGB, EventBalanceMove)
+			moved = true
 			return
 		}
 	}

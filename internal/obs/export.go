@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"strings"
+	"time"
+)
+
+// Chrome trace-event export. Each recorded span becomes up to two
+// "complete" (ph "X") events: one on the simulated timeline (pid
+// SimPID — the timeline the paper's figures are drawn on, where a
+// replica build takes simulated hours) and one on the wall-clock
+// timeline (pid WallPID — where the reproduction's own compute time
+// goes, e.g. annealing search). Both open directly in chrome://tracing
+// and https://ui.perfetto.dev.
+
+// Process IDs used in exported traces.
+const (
+	SimPID  = 1 // simulated-time timeline
+	WallPID = 2 // wall-clock timeline
+)
+
+// TraceEvent is one Chrome trace-event JSON object.
+type TraceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	TS   int64          `json:"ts"`  // microseconds since timeline origin
+	Dur  int64          `json:"dur"` // microseconds
+	PID  int64          `json:"pid"`
+	TID  int64          `json:"tid"`
+	Args map[string]any `json:"args"`
+}
+
+// TraceEvents builds the exportable event list from the tracer's buffer:
+// metadata naming the two timelines and every track, then the span
+// events. Timestamps are normalized to the earliest recorded instant of
+// each timeline.
+func (t *Tracer) TraceEvents() []TraceEvent {
+	if t == nil {
+		return nil
+	}
+	spans, tracks := t.snapshot()
+
+	var simEpoch, wallEpoch time.Time
+	for _, s := range spans {
+		if simEpoch.IsZero() || s.simStart.Before(simEpoch) {
+			simEpoch = s.simStart
+		}
+		if wallEpoch.IsZero() || s.wallStart.Before(wallEpoch) {
+			wallEpoch = s.wallStart
+		}
+	}
+
+	events := make([]TraceEvent, 0, 2*len(spans)+2+2*len(tracks))
+	meta := func(pid int64, name string) {
+		events = append(events, TraceEvent{
+			Name: "process_name", Cat: "__metadata", Ph: "M", PID: pid,
+			Args: map[string]any{"name": name},
+		})
+	}
+	meta(SimPID, "sim-time")
+	meta(WallPID, "wall-time")
+	for tid, name := range tracks {
+		for _, pid := range []int64{SimPID, WallPID} {
+			events = append(events, TraceEvent{
+				Name: "thread_name", Cat: "__metadata", Ph: "M", PID: pid, TID: tid,
+				Args: map[string]any{"name": name},
+			})
+		}
+	}
+
+	for _, s := range spans {
+		args := make(map[string]any, len(s.attrs)+3)
+		for _, a := range s.attrs {
+			args[a.Key] = a.Value()
+		}
+		args["span_id"] = s.id
+		if s.parent != 0 {
+			args["parent_id"] = s.parent
+		}
+		wallDur := s.wallEnd.Sub(s.wallStart)
+		args["wall_us"] = wallDur.Microseconds()
+
+		ph := "X"
+		if s.instant {
+			ph = "i"
+		}
+		events = append(events, TraceEvent{
+			Name: s.name,
+			Cat:  category(s.name),
+			Ph:   ph,
+			TS:   s.simStart.Sub(simEpoch).Microseconds(),
+			Dur:  s.simEnd.Sub(s.simStart).Microseconds(),
+			PID:  SimPID,
+			TID:  s.tid,
+			Args: args,
+		})
+		// Pre-timed spans (Emit) have no wall extent; skip their wall
+		// event so the wall timeline shows only real compute regions.
+		if wallDur <= 0 && ph == "X" {
+			continue
+		}
+		events = append(events, TraceEvent{
+			Name: s.name,
+			Cat:  category(s.name),
+			Ph:   ph,
+			TS:   s.wallStart.Sub(wallEpoch).Microseconds(),
+			Dur:  wallDur.Microseconds(),
+			PID:  WallPID,
+			TID:  s.tid,
+			Args: args,
+		})
+	}
+	return events
+}
+
+// category derives the event category from the span name's subsystem
+// prefix ("plb.place" → "plb").
+func category(name string) string {
+	if i := strings.IndexByte(name, '.'); i > 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// WriteTraceJSON writes the buffered spans as a Chrome trace-event JSON
+// array — the format chrome://tracing and Perfetto open directly.
+func (t *Tracer) WriteTraceJSON(w io.Writer) error {
+	events := t.TraceEvents()
+	if events == nil {
+		events = []TraceEvent{}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(events)
+}
+
+// WriteTraceJSONL writes one trace event per line — greppable, and
+// streamable into tools that consume JSONL.
+func (t *Tracer) WriteTraceJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, ev := range t.TraceEvents() {
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}

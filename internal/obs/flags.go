@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"strings"
+)
+
+// Flags is the shared observability flag surface of the Toto CLIs
+// (totobench, totosim, tototrain): trace/metrics artifact outputs plus
+// pprof profiling hooks.
+type Flags struct {
+	TraceOut   string
+	MetricsOut string
+	CPUProfile string
+	MemProfile string
+	LogLevel   string
+}
+
+// BindFlags registers the observability flags on fs (typically
+// flag.CommandLine) and returns the destination struct.
+func BindFlags(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.StringVar(&f.TraceOut, "trace-out", "", "write a Chrome/Perfetto trace-event file (.json array, .jsonl lines)")
+	fs.StringVar(&f.MetricsOut, "metrics-out", "", "write a metrics-registry JSON snapshot to this file")
+	fs.StringVar(&f.CPUProfile, "cpuprofile", "", "write a pprof CPU profile to this file")
+	fs.StringVar(&f.MemProfile, "memprofile", "", "write a pprof heap profile to this file")
+	fs.StringVar(&f.LogLevel, "log-level", "", "sim-time log level on stderr: debug, info, warn, error (default off)")
+	return f
+}
+
+// Enabled reports whether tracing or metrics collection was requested —
+// when false, Session.Obs stays nil and instrumentation is a no-op.
+func (f *Flags) Enabled() bool {
+	return f.TraceOut != "" || f.MetricsOut != "" || f.LogLevel != ""
+}
+
+// Session is a started observability session: the Obs handle to thread
+// into scenarios (nil when no trace/metrics output was requested, so
+// profiling-only runs stay uninstrumented) plus the profiling state.
+type Session struct {
+	Obs   *Obs
+	flags *Flags
+	cpu   *os.File
+}
+
+// Start begins the session: creates the Obs layer if requested and
+// starts the CPU profile if requested. Always returns a usable *Session;
+// Close must be called (not deferred past os.Exit) to flush artifacts.
+func (f *Flags) Start() (*Session, error) {
+	s := &Session{flags: f}
+	if f.Enabled() {
+		level := LevelOff
+		switch strings.ToLower(f.LogLevel) {
+		case "":
+		case "debug":
+			level = LevelDebug
+		case "info":
+			level = LevelInfo
+		case "warn":
+			level = LevelWarn
+		case "error":
+			level = LevelError
+		default:
+			return nil, fmt.Errorf("obs: unknown -log-level %q", f.LogLevel)
+		}
+		s.Obs = New(Options{LogWriter: os.Stderr, LogLevel: level})
+	}
+	if f.CPUProfile != "" {
+		file, err := os.Create(f.CPUProfile)
+		if err != nil {
+			return nil, fmt.Errorf("obs: -cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(file); err != nil {
+			file.Close()
+			return nil, fmt.Errorf("obs: -cpuprofile: %w", err)
+		}
+		s.cpu = file
+	}
+	return s, nil
+}
+
+// Close stops profiling and writes every requested artifact. Nil-safe.
+func (s *Session) Close() error {
+	if s == nil {
+		return nil
+	}
+	var first error
+	keep := func(err error) {
+		if err != nil && first == nil {
+			first = err
+		}
+	}
+	if s.cpu != nil {
+		pprof.StopCPUProfile()
+		keep(s.cpu.Close())
+		s.cpu = nil
+	}
+	if s.flags.TraceOut != "" && s.Obs != nil {
+		keep(writeFile(s.flags.TraceOut, func(f io.Writer) error {
+			if strings.HasSuffix(s.flags.TraceOut, ".jsonl") {
+				return s.Obs.Tracer().WriteTraceJSONL(f)
+			}
+			return s.Obs.Tracer().WriteTraceJSON(f)
+		}))
+		if d := s.Obs.Tracer().Dropped(); d > 0 {
+			fmt.Fprintf(os.Stderr, "obs: trace buffer overflow, %d spans dropped\n", d)
+		}
+	}
+	if s.flags.MetricsOut != "" && s.Obs != nil {
+		keep(writeFile(s.flags.MetricsOut, func(f io.Writer) error {
+			return s.Obs.Registry().WriteJSON(f)
+		}))
+	}
+	if s.flags.MemProfile != "" {
+		runtime.GC() // materialize up-to-date heap statistics
+		keep(writeFile(s.flags.MemProfile, pprof.WriteHeapProfile))
+	}
+	return first
+}
+
+func writeFile(path string, fn func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// spanRecord is one closed span in the tracer's buffer.
+type spanRecord struct {
+	name    string
+	tid     int64
+	id      int64
+	parent  int64
+	instant bool
+
+	simStart, simEnd   time.Time
+	wallStart, wallEnd time.Time
+
+	attrs []Attr
+}
+
+// Tracer buffers closed spans from every track of a run. It is safe for
+// concurrent use: each track appends under one mutex, and the buffer is
+// bounded so multi-week simulations cannot exhaust memory.
+type Tracer struct {
+	mu      sync.Mutex
+	max     int
+	spans   []spanRecord
+	tracks  map[int64]string
+	dropped int64
+
+	ids  atomic.Int64
+	tids atomic.Int64
+}
+
+func newTracer(max int) *Tracer {
+	return &Tracer{max: max, tracks: make(map[int64]string)}
+}
+
+func (t *Tracer) nextID() int64 { return t.ids.Add(1) }
+
+func (t *Tracer) newTrack(name string) int64 {
+	tid := t.tids.Add(1)
+	t.mu.Lock()
+	t.tracks[tid] = name
+	t.mu.Unlock()
+	return tid
+}
+
+func (t *Tracer) record(r spanRecord) {
+	t.mu.Lock()
+	if len(t.spans) >= t.max {
+		t.dropped++
+		t.mu.Unlock()
+		return
+	}
+	t.spans = append(t.spans, r)
+	t.mu.Unlock()
+}
+
+// Len returns the number of buffered spans.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}
+
+// Dropped returns how many spans were discarded after the buffer filled.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// snapshot copies the buffer and track names for export.
+func (t *Tracer) snapshot() ([]spanRecord, map[int64]string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	spans := make([]spanRecord, len(t.spans))
+	copy(spans, t.spans)
+	tracks := make(map[int64]string, len(t.tracks))
+	for k, v := range t.tracks {
+		tracks[k] = v
+	}
+	return spans, tracks
+}

@@ -16,6 +16,7 @@ import (
 	"toto/internal/controlplane"
 	"toto/internal/fabric"
 	"toto/internal/models"
+	"toto/internal/obs"
 	"toto/internal/rng"
 	"toto/internal/simclock"
 	"toto/internal/slo"
@@ -65,6 +66,11 @@ type Manager struct {
 	failures      int
 	memberCreates int
 	memberDrops   int
+
+	obs      *obs.Obs
+	cCreates *obs.Counter // population.creates
+	cDrops   *obs.Counter // population.drops
+	cFails   *obs.Counter // population.failures
 }
 
 // New builds a Population Manager. seed is the single fixed seed of §5.2
@@ -81,6 +87,14 @@ func New(clock *simclock.Clock, naming *fabric.NamingService, cp *controlplane.C
 
 // OnCreated registers an observer for successful creations.
 func (m *Manager) OnCreated(fn CreatedFunc) { m.onCreated = append(m.onCreated, fn) }
+
+// SetObs attaches the observability layer (nil disables at zero cost).
+func (m *Manager) SetObs(o *obs.Obs) {
+	m.obs = o
+	m.cCreates = o.Counter("population.creates")
+	m.cDrops = o.Counter("population.drops")
+	m.cFails = o.Counter("population.failures")
+}
 
 // SetPoolOps enables elastic-pool churn through the given operations.
 // Without it, PoolPolicy entries in the model set are ignored.
@@ -127,6 +141,9 @@ func (m *Manager) Wake(now time.Time) {
 	if set == nil || set.Frozen {
 		return
 	}
+	sp := m.obs.Span("population.wake")
+	scheduled := 0
+	defer func() { sp.End(obs.Int("scheduled", scheduled)) }()
 	for _, e := range slo.Editions() {
 		policy := set.Pools[e]
 		if m.poolOps == nil {
@@ -134,6 +151,7 @@ func (m *Manager) Wake(now time.Time) {
 		}
 		if cm, ok := set.Create[e]; ok {
 			n := m.sampleScaledCount(cm, set.RingShare, now)
+			scheduled += n
 			for i := 0; i < n; i++ {
 				if policy != nil && m.rnd.Bernoulli(policy.MemberFraction) {
 					m.scheduleMemberCreate(set, e, policy, now)
@@ -150,6 +168,7 @@ func (m *Manager) Wake(now time.Time) {
 		}
 		if dm, ok := set.Drop[e]; ok {
 			n := m.sampleScaledCount(dm, set.RingShare, now)
+			scheduled += n
 			for i := 0; i < n; i++ {
 				if policy != nil && m.rnd.Bernoulli(policy.MemberFraction) {
 					m.scheduleMemberDrop(e, now)
@@ -177,14 +196,17 @@ func (m *Manager) scheduleMemberCreate(set *models.ModelSet, e slo.Edition, poli
 	m.clock.At(hourStart.Add(offset), func(time.Time) {
 		pool, err := m.poolOps.EnsurePoolWithRoom(e, policy.PoolSLO)
 		if err != nil {
-			m.failures++ // pool provisioning was redirected
+			m.failures++
+			m.cFails.Inc() // pool provisioning was redirected
 			return
 		}
 		if err := m.poolOps.AddMember(pool, db, policy.MemberMaxDiskGB, initial); err != nil {
 			m.failures++
+			m.cFails.Inc()
 			return
 		}
 		m.memberCreates++
+		m.cCreates.Inc()
 	})
 }
 
@@ -195,14 +217,17 @@ func (m *Manager) scheduleMemberDrop(e slo.Edition, hourStart time.Time) {
 		members := m.poolOps.Members(e)
 		if len(members) == 0 {
 			m.failures++
+			m.cFails.Inc()
 			return
 		}
 		ref := members[m.rnd.Intn(len(members))]
 		if err := m.poolOps.RemoveMember(ref.Pool, ref.DB); err != nil {
 			m.failures++
+			m.cFails.Inc()
 			return
 		}
 		m.memberDrops++
+		m.cDrops.Inc()
 	})
 }
 
@@ -256,10 +281,12 @@ func (m *Manager) scheduleCreate(set *models.ModelSet, e slo.Edition, hourStart 
 	m.clock.At(hourStart.Add(offset), func(createdAt time.Time) {
 		svc, err := m.cp.CreateDatabase(db, sloName)
 		if err != nil {
-			m.failures++ // redirected or rejected; the redirect observer logged it
+			m.failures++
+			m.cFails.Inc() // redirected or rejected; the redirect observer logged it
 			return
 		}
 		m.creates++
+		m.cCreates.Inc()
 		s, _ := m.cp.Catalog().Lookup(sloName)
 		for _, fn := range m.onCreated {
 			fn(svc, s, initial)
@@ -270,6 +297,7 @@ func (m *Manager) scheduleCreate(set *models.ModelSet, e slo.Edition, hourStart 
 					return // already dropped by other means
 				}
 				m.drops++
+				m.cDrops.Inc()
 			})
 		}
 	})
@@ -283,14 +311,17 @@ func (m *Manager) scheduleDrop(e slo.Edition, hourStart time.Time) {
 		live := m.cp.LiveDatabases(&e)
 		if len(live) == 0 {
 			m.failures++
+			m.cFails.Inc()
 			return
 		}
 		db := live[m.rnd.Intn(len(live))]
 		if err := m.cp.DropDatabase(db); err != nil {
 			m.failures++
+			m.cFails.Inc()
 			return
 		}
 		m.drops++
+		m.cDrops.Inc()
 	})
 }
 

@@ -25,6 +25,7 @@ import (
 
 	"toto/internal/fabric"
 	"toto/internal/models"
+	"toto/internal/obs"
 	"toto/internal/slo"
 )
 
@@ -65,6 +66,14 @@ type Manager struct {
 	version int64
 
 	mem map[loadKey]float64
+
+	// Registry counters, shared by every node's Manager via the
+	// registry's get-or-create semantics; nil (free no-ops) when the
+	// observability layer is off.
+	cRefreshes   *obs.Counter // rgmanager.model_refreshes
+	cDiskReports *obs.Counter // rgmanager.disk_reports
+	cMemReports  *obs.Counter // rgmanager.memory_reports
+	cEvictions   *obs.Counter // rgmanager.evictions
 }
 
 // New returns the Manager for node nodeID reading models from naming.
@@ -82,6 +91,15 @@ func New(nodeID string, naming *fabric.NamingService, nodeSeed uint64) *Manager 
 	}
 }
 
+// SetObs attaches the observability layer's counters (nil disables at
+// zero cost). All node Managers share the same registry handles.
+func (m *Manager) SetObs(o *obs.Obs) {
+	m.cRefreshes = o.Counter("rgmanager.model_refreshes")
+	m.cDiskReports = o.Counter("rgmanager.disk_reports")
+	m.cMemReports = o.Counter("rgmanager.memory_reports")
+	m.cEvictions = o.Counter("rgmanager.evictions")
+}
+
 // NodeID returns the node this Manager governs.
 func (m *Manager) NodeID() string { return m.nodeID }
 
@@ -94,6 +112,7 @@ func (m *Manager) Models() *models.ModelSet { return m.set }
 // the orchestrator. A missing key clears the models (normal operating
 // behaviour resumes).
 func (m *Manager) Refresh() error {
+	m.cRefreshes.Inc()
 	data, version, ok := m.naming.Get(models.NamingKey)
 	if !ok {
 		m.set = nil
@@ -166,6 +185,7 @@ func (m *Manager) SeedLoad(rep *fabric.Replica, info DBInfo, metric fabric.Metri
 // in which case the replica reports its actual usage (the normal,
 // non-benchmark path, §3.3.1).
 func (m *Manager) ReportDisk(rep *fabric.Replica, info DBInfo, now time.Time) (value float64, ok bool) {
+	m.cDiskReports.Inc()
 	if m.set == nil {
 		return 0, false
 	}
@@ -223,6 +243,7 @@ func (m *Manager) ReportDisk(rep *fabric.Replica, info DBInfo, now time.Time) (v
 // (so a pool failover resets the members' tempDB usage together, as one
 // SQL instance would).
 func (m *Manager) ReportPoolDisk(rep *fabric.Replica, pool DBInfo, members []DBInfo, now time.Time) (value float64, ok bool) {
+	m.cDiskReports.Inc()
 	if m.set == nil {
 		return 0, false
 	}
@@ -296,6 +317,7 @@ func (m *Manager) SeedMemberLoad(rep *fabric.Replica, pool DBInfo, member DBInfo
 // the same contract as ReportDisk. Memory is always non-persisted: a
 // newly placed replica has a cold buffer pool (§3.3.2).
 func (m *Manager) ReportMemory(rep *fabric.Replica, info DBInfo, now time.Time) (value float64, ok bool) {
+	m.cMemReports.Inc()
 	if m.set == nil {
 		return 0, false
 	}
@@ -362,6 +384,7 @@ func (m *Manager) ReportCPU(rep *fabric.Replica, info DBInfo, reservedCores floa
 // incarnations never repeat — but this keeps the store from growing
 // unboundedly in long benchmarks.
 func (m *Manager) Evict(rep fabric.ReplicaID, incarnation int) {
+	m.cEvictions.Inc()
 	for key := range m.mem {
 		if key.rep == rep && key.inc == incarnation {
 			delete(m.mem, key)

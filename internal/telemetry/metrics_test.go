@@ -1,0 +1,78 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"toto/internal/fabric"
+	"toto/internal/obs"
+	"toto/internal/slo"
+)
+
+// TestRegisterMetricsRoundTrip drives a recorder through samples,
+// redirects, and a failover event, then checks that every headline KPI
+// survives the registry → JSON → decode round trip.
+func TestRegisterMetricsRoundTrip(t *testing.T) {
+	cluster, rec := newEnv(t, 4)
+	reg := obs.NewRegistry()
+	rec.RegisterMetrics(reg)
+
+	if _, err := cluster.CreateService("db-a", 1, 4, map[string]string{"edition": slo.PremiumBC.String()}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cluster.CreateService("db-b", 1, 2, nil); err != nil {
+		t.Fatal(err)
+	}
+	rec.TakeSample()
+	rec.RecordRedirect("db-c", slo.StandardGP, "GP_Gen5_2", 2)
+	rec.RecordRedirect("db-d", slo.StandardGP, "GP_Gen5_2", 2)
+	// Synthesize a failover event as the cluster would deliver it.
+	svc := cluster.Services()[0]
+	rec.onEvent(fabric.Event{Kind: fabric.EventFailover, Service: svc, MovedCores: 4})
+
+	var buf bytes.Buffer
+	if err := reg.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Counters map[string]int64   `json:"counters"`
+		Gauges   map[string]float64 `json:"gauges"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatalf("metrics JSON does not decode: %v", err)
+	}
+
+	wantCounters := map[string]int64{
+		"telemetry.failovers": 1,
+		"telemetry.redirects": 2,
+	}
+	for name, want := range wantCounters {
+		if got, ok := snap.Counters[name]; !ok || got != want {
+			t.Errorf("counter %s = %d (present=%v), want %d", name, got, ok, want)
+		}
+	}
+	wantGauges := map[string]float64{
+		"telemetry.live_dbs":       2,
+		"telemetry.reserved_cores": 6,
+	}
+	for name, want := range wantGauges {
+		if got, ok := snap.Gauges[name]; !ok || got != want {
+			t.Errorf("gauge %s = %v (present=%v), want %v", name, got, ok, want)
+		}
+	}
+	for _, name := range []string{"telemetry.free_cores", "telemetry.disk_usage_gb"} {
+		if _, ok := snap.Gauges[name]; !ok {
+			t.Errorf("gauge %s missing from snapshot", name)
+		}
+	}
+
+	// A recorder without RegisterMetrics stays fully functional: the nil
+	// handles are no-ops.
+	_, bare := newEnv(t, 2)
+	bare.TakeSample()
+	bare.RecordRedirect("db-x", slo.StandardGP, "GP_Gen5_2", 2)
+	if len(bare.Redirects()) != 1 {
+		t.Error("uninstrumented recorder lost its redirect record")
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"toto/internal/fabric"
+	"toto/internal/obs"
 	"toto/internal/simclock"
 	"toto/internal/slo"
 )
@@ -92,6 +93,27 @@ type Recorder struct {
 	editionOf func(*fabric.Service) slo.Edition
 
 	tickers []*simclock.Ticker
+
+	// Metrics-registry handles for the headline KPIs; nil (free no-ops)
+	// until RegisterMetrics is called.
+	cFailovers *obs.Counter // telemetry.failovers
+	cRedirects *obs.Counter // telemetry.redirects
+	gLiveDBs   *obs.Gauge   // telemetry.live_dbs
+	gReserved  *obs.Gauge   // telemetry.reserved_cores
+	gFree      *obs.Gauge   // telemetry.free_cores
+	gDisk      *obs.Gauge   // telemetry.disk_usage_gb
+}
+
+// RegisterMetrics exposes the recorder's headline KPIs through a metrics
+// registry: failover and redirect counters, plus gauges tracking the most
+// recent cluster sample. A nil registry is a no-op.
+func (r *Recorder) RegisterMetrics(reg *obs.Registry) {
+	r.cFailovers = reg.Counter("telemetry.failovers")
+	r.cRedirects = reg.Counter("telemetry.redirects")
+	r.gLiveDBs = reg.Gauge("telemetry.live_dbs")
+	r.gReserved = reg.Gauge("telemetry.reserved_cores")
+	r.gFree = reg.Gauge("telemetry.free_cores")
+	r.gDisk = reg.Gauge("telemetry.disk_usage_gb")
 }
 
 // NewRecorder builds a recorder for cluster, sampling cluster KPIs every
@@ -149,14 +171,19 @@ func (r *Recorder) TakeSample() {
 	for _, n := range r.cluster.Nodes() {
 		cpuUsed += n.Load(fabric.MetricCPUUsedCores)
 	}
-	r.samples = append(r.samples, Sample{
+	s := Sample{
 		Time:          r.clock.Now(),
 		ReservedCores: r.cluster.ReservedCores(),
 		FreeCores:     r.cluster.FreeCores(),
 		DiskUsageGB:   r.cluster.DiskUsage(),
 		CPUUsedCores:  cpuUsed,
 		LiveDBs:       live,
-	})
+	}
+	r.samples = append(r.samples, s)
+	r.gLiveDBs.Set(float64(s.LiveDBs))
+	r.gReserved.Set(s.ReservedCores)
+	r.gFree.Set(s.FreeCores)
+	r.gDisk.Set(s.DiskUsageGB)
 }
 
 // TakeNodeSamples records one node-level sample per node now.
@@ -185,6 +212,7 @@ func (r *Recorder) onEvent(ev fabric.Event) {
 	default:
 		return
 	}
+	r.cFailovers.Inc()
 	r.failovers = append(r.failovers, FailoverRecord{
 		Time:        ev.Time,
 		DB:          ev.Service.Name,
@@ -200,6 +228,7 @@ func (r *Recorder) onEvent(ev fabric.Event) {
 
 // RecordRedirect logs a creation redirect (called by the control plane).
 func (r *Recorder) RecordRedirect(db string, edition slo.Edition, sloName string, cores float64) {
+	r.cRedirects.Inc()
 	r.redirects = append(r.redirects, RedirectRecord{
 		Time:    r.clock.Now(),
 		DB:      db,

@@ -25,6 +25,7 @@ package toto
 import (
 	"toto/internal/core"
 	"toto/internal/models"
+	"toto/internal/obs"
 	"toto/internal/slo"
 )
 
@@ -59,6 +60,16 @@ const (
 	StandardGP = slo.StandardGP
 	PremiumBC  = slo.PremiumBC
 )
+
+// Observer is the simulation-time observability layer: a span tracer on
+// the simulated clock (exportable as a Chrome/Perfetto trace), a metrics
+// registry, and a sim-timestamped logger. Attach one via Scenario.Obs; a
+// nil Observer disables all instrumentation at zero cost.
+type Observer = obs.Obs
+
+// NewObserver creates an Observer with default options (1M-event trace
+// buffer, logging off).
+func NewObserver() *Observer { return obs.New(obs.Options{}) }
 
 // Run executes the full experiment protocol on a scenario: inject frozen
 // models, bootstrap the population, unfreeze, run the measured window,
