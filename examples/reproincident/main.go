@@ -19,6 +19,7 @@ import (
 
 	"toto"
 	"toto/internal/core"
+	"toto/internal/fabric"
 	"toto/internal/models"
 	"toto/internal/slo"
 )
@@ -92,7 +93,7 @@ func main() {
 		o.Clock.RunUntil(start.Add(mark))
 		svc, _ := o.Cluster.Service("incident-db")
 		fmt.Printf("t+%-8s suspect disk %6.0f GB x4 replicas | cluster %.1f%% | failovers %d (%.0f cores moved)\n",
-			mark, svc.Primary().Loads["diskGB"],
+			mark, svc.Primary().Load(fabric.MetricDiskGB),
 			100*o.Cluster.DiskUsage()/o.Cluster.DiskCapacity(),
 			len(o.Recorder.Failovers()), o.Recorder.FailedOverCores(nil))
 	}

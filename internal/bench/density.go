@@ -212,7 +212,12 @@ func (s *Study) Fig10Series() (series map[float64][]int, firstHour map[float64]i
 }
 
 // PrintFig10 writes the redirect series, sampled every sampleEvery hours.
+// A sampleEvery below 1 is clamped to 1 (print every hour); without the
+// clamp a zero or negative stride would loop forever on the first row.
 func (s *Study) PrintFig10(w io.Writer, sampleEvery int) {
+	if sampleEvery < 1 {
+		sampleEvery = 1
+	}
 	fmt.Fprintln(w, "Figure 10: cumulative creation redirects per hour")
 	fmt.Fprintf(w, "%-6s", "hour")
 	for _, r := range s.Results {
@@ -334,7 +339,7 @@ type Fig12bRow struct {
 	BCCores  float64
 	GPCores  float64
 	Total    float64
-	Failoves int
+	Failovers int
 }
 
 // Fig12b returns the failed-over core accounting.
@@ -345,7 +350,7 @@ func (s *Study) Fig12b() []Fig12bRow {
 			Density:  r.Density,
 			BCCores:  r.FailedOverCores[slo.PremiumBC],
 			GPCores:  r.FailedOverCores[slo.StandardGP],
-			Failoves: len(r.Failovers),
+			Failovers: len(r.Failovers),
 		}
 		row.Total = row.BCCores + row.GPCores
 		rows = append(rows, row)
@@ -361,7 +366,7 @@ func (s *Study) PrintFig12b(w io.Writer) {
 	for i, row := range s.Fig12b() {
 		r := s.Results[i]
 		fmt.Fprintf(w, "%-9.0f %-14.0f %-14.0f %-12.0f %-11d %-12d %-12d %.1f%%\n",
-			row.Density*100, row.BCCores, row.GPCores, row.Total, row.Failoves,
+			row.Density*100, row.BCCores, row.GPCores, row.Total, row.Failovers,
 			r.CreatesByEdition[slo.PremiumBC], r.CreatesByEdition[slo.StandardGP], 100*r.PeakNodeDiskUtil)
 	}
 }

@@ -164,8 +164,9 @@ func NewCluster(clock *simclock.Clock, nodeCount int, nodeCapacity map[MetricNam
 		cfg.Obs.Counter("fabric.naming_reads"),
 		cfg.Obs.Counter("fabric.naming_writes"),
 	)
+	capVec := vectorFromMap(nodeCapacity)
 	for i := 0; i < nodeCount; i++ {
-		c.nodes = append(c.nodes, newNode(fmt.Sprintf("node-%d", i), nodeCapacity))
+		c.nodes = append(c.nodes, newNode(fmt.Sprintf("node-%d", i), i, capVec))
 	}
 	c.plb = newPLB(c, cfg)
 	return c
@@ -324,7 +325,7 @@ func (c *Cluster) CreateServiceWithLoads(name string, replicaCount int, reserved
 	svc := newService(name, replicaCount, reservedCores, labels, c.clock.Now())
 	for _, r := range svc.Replicas {
 		for m, v := range loads {
-			if m != MetricCores && v > 0 {
+			if m != MetricCores && m.Valid() && v > 0 {
 				r.Loads[m] = v
 			}
 		}
@@ -367,6 +368,9 @@ func (c *Cluster) ReportLoad(id ReplicaID, m MetricName, value float64) error {
 	}
 	if m == MetricCores {
 		return errors.New("fabric: core reservation is static and cannot be reported")
+	}
+	if !m.Valid() {
+		return fmt.Errorf("fabric: unknown metric %d", m)
 	}
 	if value < 0 {
 		return fmt.Errorf("fabric: negative load %f for %s", value, m)
@@ -492,7 +496,7 @@ func (c *Cluster) moveReplica(r *Replica, target *Node, metric MetricName, kind 
 	now := c.clock.Now()
 	c.obs.Emit(spanName, now, downtime,
 		obs.Str("replica", r.ID.String()),
-		obs.Str("metric", string(metric)),
+		obs.Str("metric", metric.String()),
 		obs.Str("from", fromID),
 		obs.Str("to", target.ID),
 		obs.Float("moved_disk_gb", movedDisk),

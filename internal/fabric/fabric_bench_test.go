@@ -56,6 +56,47 @@ func BenchmarkGreedyPlacement(b *testing.B) {
 	}
 }
 
+// BenchmarkPlace measures the PLB's annealing search alone — the inner
+// loop of every placement decision — on a half-full 14-node cluster,
+// with no service-creation bookkeeping around it.
+func BenchmarkPlace(b *testing.B) {
+	cfg := DefaultConfig()
+	c := NewCluster(simclock.New(testStart), 14, testCapacity(), cfg)
+	for i := 0; i < 100; i++ {
+		if _, err := c.CreateService(fmt.Sprintf("seed-%d", i), 1, 4, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	svc := newService("probe", 4, 2, nil, testStart)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := c.plb.search(svc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScan measures the steady-state violation scan alone (no
+// violations present) — the walk over all nodes × metrics the PLB pays
+// every 5 simulated minutes.
+func BenchmarkScan(b *testing.B) {
+	cfg := DefaultConfig()
+	c := NewCluster(simclock.New(testStart), 14, testCapacity(), cfg)
+	for i := 0; i < 250; i++ {
+		svc, err := c.CreateService(fmt.Sprintf("db-%d", i), 1, 2, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c.ReportLoad(svc.Replicas[0].ID, MetricDiskGB, float64(i%100)*20)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.plb.scan(testStart)
+	}
+}
+
 // BenchmarkPLBScan measures one violation-scan pass over a loaded
 // 14-node cluster with no violations (the steady-state cost paid every
 // 5 simulated minutes).

@@ -2,6 +2,7 @@ package fabric
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"toto/internal/obs"
@@ -42,7 +43,18 @@ func (c *Cluster) SetNodeDown(id string) (evacuated, stranded int, err error) {
 	sp := c.obs.Span("fabric.node_drain", obs.Str("node", id))
 	c.obs.Counter("fabric.node_drains").Inc()
 	n.down = true // placement and targets exclude it from here on
-	for _, r := range n.Replicas() {
+	// Drain in replica-ID order: Node.Replicas() surfaces Go map order,
+	// and the evacuation order decides both how the annealer's randomness
+	// is consumed and which targets fill first — iterating the raw map
+	// would make maintenance the one nondeterministic path in the run.
+	replicas := n.Replicas()
+	sort.Slice(replicas, func(i, j int) bool {
+		if replicas[i].ID.Service != replicas[j].ID.Service {
+			return replicas[i].ID.Service < replicas[j].ID.Service
+		}
+		return replicas[i].ID.Index < replicas[j].ID.Index
+	})
+	for _, r := range replicas {
 		target := c.plb.chooseTarget(r)
 		if target == nil {
 			stranded++

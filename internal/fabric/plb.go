@@ -2,7 +2,8 @@ package fabric
 
 import (
 	"math"
-	"sort"
+	"slices"
+	"strings"
 	"time"
 
 	"toto/internal/obs"
@@ -14,14 +15,55 @@ import (
 // does, §5.2: "the PLB in Service Fabric uses the Simulated Annealing
 // algorithm to decide where to place replicas") and fixes node capacity
 // violations by moving replicas off overloaded nodes (failovers).
+//
+// The PLB is the simulation's hottest path: every placement runs up to
+// SAIterations annealing steps and every scan walks all nodes × metrics.
+// All load/capacity state is therefore array-backed (see LoadVector) and
+// the decision loops below reuse scratch buffers owned by this struct,
+// so steady-state placements and scans allocate nothing.
 type plb struct {
 	cluster *Cluster
 	cfg     Config
 	rnd     *rng.Source
+
+	// caps caches each node's density-scaled enforced capacities,
+	// indexed by Node.idx — one multiply per node per density change
+	// instead of one per capacity() call. Rebuilt lazily whenever the
+	// density factor moves.
+	caps        []LoadVector
+	capsDensity float64
+
+	// Scratch buffers reused across calls. The PLB runs strictly
+	// single-threaded on the simulation clock, and no caller retains
+	// these slices beyond the call that produced them.
+	feasible []*Node
+	assign   []*Node
+	best     []*Node
+	costMemo []float64 // per-node assignment cost, indexed by Node.idx
+	victims  []*Replica
+	targets  []*Node
 }
 
 func newPLB(c *Cluster, cfg Config) *plb {
 	return &plb{cluster: c, cfg: cfg, rnd: rng.New(cfg.PLBSeed)}
+}
+
+// ensureCaps refreshes the cached density-scaled capacities if the
+// density factor changed since they were computed.
+func (p *plb) ensureCaps() {
+	if p.capsDensity == p.cfg.Density && len(p.caps) == len(p.cluster.nodes) {
+		return
+	}
+	if cap(p.caps) < len(p.cluster.nodes) {
+		p.caps = make([]LoadVector, len(p.cluster.nodes))
+	}
+	p.caps = p.caps[:len(p.cluster.nodes)]
+	for _, n := range p.cluster.nodes {
+		v := n.Capacity
+		v[MetricCores] *= p.cfg.Density
+		p.caps[n.idx] = v
+	}
+	p.capsDensity = p.cfg.Density
 }
 
 // capacity returns node n's enforced capacity for metric m: core capacity
@@ -30,11 +72,8 @@ func newPLB(c *Cluster, cfg Config) *plb {
 // fixed, which is exactly why high density converts disk growth into
 // failovers).
 func (p *plb) capacity(n *Node, m MetricName) float64 {
-	c := n.Capacity[m]
-	if m == MetricCores {
-		c *= p.cfg.Density
-	}
-	return c
+	p.ensureCaps()
+	return p.caps[n.idx][m]
 }
 
 // freeCores returns the unreserved core capacity of node n at the current
@@ -47,10 +86,12 @@ func (p *plb) freeCores(n *Node) float64 {
 // The cost is the sum over metrics of squared utilization, which pushes
 // the annealer toward balanced, under-capacity assignments; utilization
 // above 1 is additionally penalized steeply so violations dominate.
-func (p *plb) nodeCost(n *Node, extra map[MetricName]float64) float64 {
+func (p *plb) nodeCost(n *Node, extra *LoadVector) float64 {
+	p.ensureCaps()
+	caps := &p.caps[n.idx]
 	cost := 0.0
-	for _, m := range AllMetrics() {
-		cap := p.capacity(n, m)
+	for m := MetricCores; m < metricEnforcedEnd; m++ {
+		cap := caps[m]
 		if cap <= 0 {
 			continue
 		}
@@ -67,6 +108,7 @@ func (p *plb) nodeCost(n *Node, extra map[MetricName]float64) float64 {
 // place chooses a node for each replica of svc. It returns the chosen
 // nodes (index-aligned with svc.Replicas) or ErrInsufficientCores when no
 // feasible assignment exists. Nothing is attached; the caller commits.
+// The returned slice is PLB-owned scratch, valid until the next PLB call.
 func (p *plb) place(svc *Service) ([]*Node, error) {
 	sp := p.cluster.obs.Span("plb.place",
 		obs.Str("service", svc.Name),
@@ -89,37 +131,51 @@ func (p *plb) place(svc *Service) ([]*Node, error) {
 
 // search is place's decision procedure, returning the chosen nodes plus
 // the feasible-candidate count and annealing iterations for the span.
+//
+// Node loads cannot change while the search runs, so the cost of hosting
+// one more replica of svc is a constant per node. search memoizes that
+// constant once (costMemo) and the annealing loop then works entirely on
+// memoized values — each iteration is a handful of array reads and adds
+// instead of a full O(replicas × metrics) assignment-cost recomputation.
+// The left-to-right summation over the assignment is kept so the
+// accepted/rejected decision stream is bit-identical to the historical
+// full recomputation (same addends, same order).
 func (p *plb) search(svc *Service) (chosen []*Node, feasibleCount, iterations int, err error) {
 	need := svc.ReservedCoresPerReplica
 	nodes := p.cluster.nodes
+	p.ensureCaps()
 
 	// Feasibility first: count up nodes with enough free cores. Replicas
 	// of one service must land on distinct nodes; drained nodes accept
 	// nothing.
-	feasible := make([]*Node, 0, len(nodes))
+	feasible := p.feasible[:0]
 	for _, n := range nodes {
 		if n.Up() && p.freeCores(n) >= need {
 			feasible = append(feasible, n)
 		}
 	}
+	p.feasible = feasible
 	if len(feasible) < svc.ReplicaCount {
 		return nil, len(feasible), 0, ErrInsufficientCores
 	}
 
 	// Greedy seed: most free cores first, breaking ties by fewest
 	// replicas then node ID for determinism.
-	sort.Slice(feasible, func(i, j int) bool {
-		fi, fj := p.freeCores(feasible[i]), p.freeCores(feasible[j])
-		if fi != fj {
-			return fi > fj
+	slices.SortFunc(feasible, func(a, b *Node) int {
+		fa, fb := p.freeCores(a), p.freeCores(b)
+		if fa != fb {
+			if fa > fb {
+				return -1
+			}
+			return 1
 		}
-		if feasible[i].ReplicaCount() != feasible[j].ReplicaCount() {
-			return feasible[i].ReplicaCount() < feasible[j].ReplicaCount()
+		if a.ReplicaCount() != b.ReplicaCount() {
+			return a.ReplicaCount() - b.ReplicaCount()
 		}
-		return feasible[i].ID < feasible[j].ID
+		return strings.Compare(a.ID, b.ID)
 	})
-	assign := make([]*Node, svc.ReplicaCount)
-	copy(assign, feasible[:svc.ReplicaCount])
+	assign := append(p.assign[:0], feasible[:svc.ReplicaCount]...)
+	p.assign = assign
 
 	if p.cfg.GreedyPlacement || len(feasible) == svc.ReplicaCount {
 		return assign, len(feasible), 0, nil
@@ -128,38 +184,38 @@ func (p *plb) search(svc *Service) (chosen []*Node, feasibleCount, iterations in
 	// Simulated annealing: perturb one replica's node at a time. The
 	// cost sees the replica's known initial loads, not just its core
 	// reservation.
-	extra := map[MetricName]float64{MetricCores: need}
-	for _, m := range []MetricName{MetricDiskGB, MetricMemoryGB} {
+	extra := LoadVector{MetricCores: need}
+	for m := MetricDiskGB; m < metricEnforcedEnd; m++ {
 		if v := svc.Replicas[0].Loads[m]; v > 0 {
 			extra[m] = v
 		}
 	}
+	// Memoize the cost of adding the replica to each feasible node.
+	if cap(p.costMemo) < len(nodes) {
+		p.costMemo = make([]float64, len(nodes))
+	}
+	costMemo := p.costMemo[:len(nodes)]
+	for _, n := range feasible {
+		costMemo[n.idx] = p.nodeCost(n, &extra)
+	}
 	assignmentCost := func(a []*Node) float64 {
 		cost := 0.0
 		for _, n := range a {
-			cost += p.nodeCost(n, extra)
+			cost += costMemo[n.idx]
 		}
 		return cost
 	}
-	used := func(a []*Node, n *Node, except int) bool {
-		for i, an := range a {
-			if i != except && an == n {
-				return true
-			}
-		}
-		return false
-	}
 
 	curCost := assignmentCost(assign)
-	best := make([]*Node, len(assign))
-	copy(best, assign)
+	best := append(p.best[:0], assign...)
+	p.best = best
 	bestCost := curCost
 	temp := p.cfg.SAInitialTemp
 	for it := 0; it < p.cfg.SAIterations; it++ {
 		iterations++
 		ri := p.rnd.Intn(len(assign))
 		cand := feasible[p.rnd.Intn(len(feasible))]
-		if cand == assign[ri] || used(assign, cand, ri) {
+		if cand == assign[ri] || assignmentUses(assign, cand, ri) {
 			temp *= p.cfg.SACooling
 			continue
 		}
@@ -181,15 +237,31 @@ func (p *plb) search(svc *Service) (chosen []*Node, feasibleCount, iterations in
 	return best, len(feasible), iterations, nil
 }
 
+// assignmentUses reports whether node n is assigned to a replica other
+// than the one at index except.
+func assignmentUses(a []*Node, n *Node, except int) bool {
+	for i, an := range a {
+		if i != except && an == n {
+			return true
+		}
+	}
+	return false
+}
+
+// violationFixOrder is the metric order of each scan's violation pass:
+// disk and memory first (the violations the paper's workload produces;
+// core violations can only appear if density was lowered mid-run).
+var violationFixOrder = [...]MetricName{MetricDiskGB, MetricMemoryGB, MetricCores}
+
 // scan is the periodic PLB pass: account resource-wait degradation on
-// nodes found over capacity, fix the violations (disk and memory; core
-// violations can only appear if density was lowered mid-run), then
-// optionally perform balancing moves.
+// nodes found over capacity, fix the violations, then optionally perform
+// balancing moves.
 func (p *plb) scan(now time.Time) {
 	sp := p.cluster.obs.Span("plb.scan")
+	p.ensureCaps()
 	p.accrueDegradation()
 	moves := 0
-	for _, m := range []MetricName{MetricDiskGB, MetricMemoryGB, MetricCores} {
+	for _, m := range violationFixOrder {
 		moves += p.fixViolations(m)
 	}
 	if p.cfg.BalancingEnabled {
@@ -209,9 +281,10 @@ func (p *plb) accrueDegradation() {
 	}
 	degraded := time.Duration(float64(p.cfg.ScanInterval) * p.cfg.DegradationFactor)
 	for _, n := range p.cluster.nodes {
+		caps := &p.caps[n.idx]
 		over := false
-		for _, m := range AllMetrics() {
-			if n.Load(m) > p.capacity(n, m) {
+		for m := MetricCores; m < metricEnforcedEnd; m++ {
+			if n.Load(m) > caps[m] {
 				over = true
 				break
 			}
@@ -243,7 +316,7 @@ func (p *plb) fixViolations(m MetricName) int {
 		// nothing to the trace.
 		sp := p.cluster.obs.Span("plb.fix_violations",
 			obs.Str("node", n.ID),
-			obs.Str("metric", string(m)),
+			obs.Str("metric", m.String()),
 			obs.Float("load", n.Load(m)),
 			obs.Float("capacity", p.capacity(n, m)),
 		)
@@ -261,12 +334,39 @@ func (p *plb) fixViolations(m MetricName) int {
 			moves++
 		}
 		if moves == 0 {
-			p.cluster.obs.Log().Warnf("plb: violation on %s (%s) unresolved: no victim/target", n.ID, m)
+			// The Enabled guard keeps the scan allocation-free when logging
+			// is off: building the Warnf varargs would box n.ID per call.
+			if log := p.cluster.obs.Log(); log.Enabled(obs.LevelWarn) {
+				log.Warnf("plb: violation on %s (%s) unresolved: no victim/target", n.ID, m)
+			}
 		}
 		sp.End(obs.Int("moves", moves), obs.Bool("cleared", n.Load(m) <= p.capacity(n, m)))
 		total += moves
 	}
 	return total
+}
+
+// sortedNodeReplicas fills the PLB's victim scratch with node n's
+// replicas ordered by (disk load, replica ID) — the deterministic
+// cheapest-to-move order shared by chooseVictim and balance. The replica
+// sort key is precomputed at replica creation, so the comparator does no
+// formatting and the whole collect+sort allocates nothing.
+func (p *plb) sortedNodeReplicas(n *Node) []*Replica {
+	replicas := p.victims[:0]
+	for _, r := range n.replicas {
+		replicas = append(replicas, r)
+	}
+	p.victims = replicas
+	slices.SortFunc(replicas, func(a, b *Replica) int {
+		if a.Loads[MetricDiskGB] != b.Loads[MetricDiskGB] {
+			if a.Loads[MetricDiskGB] < b.Loads[MetricDiskGB] {
+				return -1
+			}
+			return 1
+		}
+		return strings.Compare(a.sortKey, b.sortKey)
+	})
+	return replicas
 }
 
 // chooseVictim picks the replica to move off overloaded node n. The
@@ -279,16 +379,10 @@ func (p *plb) fixViolations(m MetricName) int {
 // potentially disproportionately punish the number of failed-over cores"
 // (§5.3.3).
 func (p *plb) chooseVictim(n *Node, m MetricName) *Replica {
-	replicas := n.Replicas()
+	replicas := p.sortedNodeReplicas(n)
 	if len(replicas) == 0 {
 		return nil
 	}
-	sort.Slice(replicas, func(i, j int) bool {
-		if replicas[i].Loads[MetricDiskGB] != replicas[j].Loads[MetricDiskGB] {
-			return replicas[i].Loads[MetricDiskGB] < replicas[j].Loads[MetricDiskGB]
-		}
-		return replicas[i].ID.String() < replicas[j].ID.String()
-	})
 	over := n.Load(m) - p.capacity(n, m)
 
 	// With small probability pick uniformly at random (simulated
@@ -311,17 +405,30 @@ func (p *plb) chooseVictim(n *Node, m MetricName) *Replica {
 	return best
 }
 
+// fitsOn reports whether adding extra to node n stays within every
+// enforced capacity.
+func (p *plb) fitsOn(n *Node, extra *LoadVector) bool {
+	caps := &p.caps[n.idx]
+	for m := MetricCores; m < metricEnforcedEnd; m++ {
+		if n.Load(m)+extra[m] > caps[m] {
+			return false
+		}
+	}
+	return true
+}
+
 // chooseTarget picks the node to receive replica r: feasible on cores and
 // on the replica's current dynamic loads, not already hosting a replica
 // of the same service, minimizing post-move cost (with annealing noise).
 func (p *plb) chooseTarget(r *Replica) *Node {
 	svc := r.service
-	extra := map[MetricName]float64{
+	p.ensureCaps()
+	extra := LoadVector{
 		MetricCores:    svc.ReservedCoresPerReplica,
 		MetricDiskGB:   r.Loads[MetricDiskGB],
 		MetricMemoryGB: r.Loads[MetricMemoryGB],
 	}
-	var candidates []*Node
+	candidates := p.targets[:0]
 	for _, n := range p.cluster.nodes {
 		if n == r.Node || !n.Up() {
 			continue
@@ -329,17 +436,11 @@ func (p *plb) chooseTarget(r *Replica) *Node {
 		if p.hostsServiceReplica(n, svc, r) {
 			continue
 		}
-		ok := true
-		for _, m := range AllMetrics() {
-			if n.Load(m)+extra[m] > p.capacity(n, m) {
-				ok = false
-				break
-			}
-		}
-		if ok {
+		if p.fitsOn(n, &extra) {
 			candidates = append(candidates, n)
 		}
 	}
+	p.targets = candidates
 	if len(candidates) == 0 {
 		return nil
 	}
@@ -347,9 +448,9 @@ func (p *plb) chooseTarget(r *Replica) *Node {
 		return candidates[p.rnd.Intn(len(candidates))]
 	}
 	best := candidates[0]
-	bestCost := p.nodeCost(best, extra)
+	bestCost := p.nodeCost(best, &extra)
 	for _, n := range candidates[1:] {
-		if c := p.nodeCost(n, extra); c < bestCost {
+		if c := p.nodeCost(n, &extra); c < bestCost {
 			best, bestCost = n, c
 		}
 	}
@@ -371,10 +472,11 @@ func (p *plb) hostsServiceReplica(n *Node, svc *Service, r *Replica) bool {
 // utilization spread between the most- and least-loaded nodes exceeds the
 // configured threshold.
 func (p *plb) balance(_ time.Time) {
+	p.ensureCaps()
 	var hi, lo *Node
 	var hiU, loU float64
 	for _, n := range p.cluster.nodes {
-		cap := p.capacity(n, MetricDiskGB)
+		cap := p.caps[n.idx][MetricDiskGB]
 		if cap <= 0 {
 			continue
 		}
@@ -397,33 +499,19 @@ func (p *plb) balance(_ time.Time) {
 	moved := false
 	defer func() { sp.End(obs.Bool("moved", moved)) }()
 	// Move the smallest replica that narrows the gap, if feasible.
-	replicas := hi.Replicas()
-	sort.Slice(replicas, func(i, j int) bool {
-		if replicas[i].Loads[MetricDiskGB] != replicas[j].Loads[MetricDiskGB] {
-			return replicas[i].Loads[MetricDiskGB] < replicas[j].Loads[MetricDiskGB]
-		}
-		return replicas[i].ID.String() < replicas[j].ID.String()
-	})
-	for _, r := range replicas {
+	for _, r := range p.sortedNodeReplicas(hi) {
 		if r.Loads[MetricDiskGB] <= 0 {
 			continue
 		}
 		if p.hostsServiceReplica(lo, r.service, r) {
 			continue
 		}
-		feasible := true
-		extra := map[MetricName]float64{
+		extra := LoadVector{
 			MetricCores:    r.service.ReservedCoresPerReplica,
 			MetricDiskGB:   r.Loads[MetricDiskGB],
 			MetricMemoryGB: r.Loads[MetricMemoryGB],
 		}
-		for _, m := range AllMetrics() {
-			if lo.Load(m)+extra[m] > p.capacity(lo, m) {
-				feasible = false
-				break
-			}
-		}
-		if feasible {
+		if p.fitsOn(lo, &extra) {
 			p.cluster.moveReplica(r, lo, MetricDiskGB, EventBalanceMove)
 			moved = true
 			return

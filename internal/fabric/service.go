@@ -43,10 +43,10 @@ type Replica struct {
 	// Node is the node currently hosting the replica (nil while a
 	// placement is pending).
 	Node *Node
-	// Loads holds the last reported value for each metric. MetricCores is
-	// written once at placement from the service reservation; the others
-	// change as the replica reports.
-	Loads map[MetricName]float64
+	// Loads holds the last reported value for each metric, indexed by
+	// MetricName. MetricCores is written once at placement from the
+	// service reservation; the others change as the replica reports.
+	Loads LoadVector
 	// Incarnation counts how many times the replica has been (re)placed.
 	// It distinguishes a fresh replica from a stale one that returned to
 	// a node it lived on before, so per-node in-memory state (RgManager's
@@ -54,14 +54,23 @@ type Replica struct {
 	Incarnation int
 
 	service *Service
+	// sortKey is ID.String() precomputed once, so the PLB's deterministic
+	// tie-breaking comparators never format strings (or allocate) inside
+	// a sort loop.
+	sortKey string
 }
 
 // Service returns the service this replica belongs to.
 func (r *Replica) Service() *Service { return r.service }
 
 // Load returns the replica's last reported value for metric m (0 when
-// never reported).
-func (r *Replica) Load(m MetricName) float64 { return r.Loads[m] }
+// never reported or when m is not a tracked metric).
+func (r *Replica) Load(m MetricName) float64 {
+	if !m.Valid() {
+		return 0
+	}
+	return r.Loads[m]
+}
 
 // Service is a deployed application — in SQL DB terms, one database. A
 // service has a fixed replica count (1 for remote-store databases, 4 for
@@ -113,11 +122,13 @@ func newService(name string, replicaCount int, reservedCores float64, labels map
 		if i == 0 {
 			role = Primary
 		}
+		id := ReplicaID{Service: name, Index: i}
 		s.Replicas = append(s.Replicas, &Replica{
-			ID:      ReplicaID{Service: name, Index: i},
+			ID:      id,
 			Role:    role,
-			Loads:   map[MetricName]float64{MetricCores: reservedCores},
+			Loads:   LoadVector{MetricCores: reservedCores},
 			service: s,
+			sortKey: id.String(),
 		})
 	}
 	return s
@@ -160,10 +171,16 @@ func (s *Service) Lifetime(now time.Time) time.Duration {
 type Node struct {
 	// ID names the node ("node-0", ...).
 	ID string
-	// Capacity maps each metric to the node's logical capacity for it.
-	// The PLB multiplies the cores capacity by the cluster's density
-	// factor (§5: density 110% reserves more cores than logical capacity).
-	Capacity map[MetricName]float64
+	// Capacity holds the node's logical capacity per metric, indexed by
+	// MetricName. The PLB multiplies the cores capacity by the cluster's
+	// density factor (§5: density 110% reserves more cores than logical
+	// capacity).
+	Capacity LoadVector
+
+	// idx is the node's position in the cluster's node slice; the PLB
+	// uses it to key per-node scratch tables (cached capacities, cost
+	// memos) without map lookups.
+	idx int
 
 	replicas map[ReplicaID]*Replica
 	// down marks the node as drained for maintenance (see maintenance.go).
@@ -173,24 +190,23 @@ type Node struct {
 	// the floating-point result depend on map iteration order, breaking
 	// bit-for-bit run reproducibility (§5.2); the running total follows
 	// deterministic event order.
-	totals map[MetricName]float64
+	totals LoadVector
 }
 
-func newNode(id string, capacity map[MetricName]float64) *Node {
-	cap := make(map[MetricName]float64, len(capacity))
-	for k, v := range capacity {
-		cap[k] = v
-	}
+func newNode(id string, idx int, capacity LoadVector) *Node {
 	return &Node{
 		ID:       id,
-		Capacity: cap,
+		idx:      idx,
+		Capacity: capacity,
 		replicas: make(map[ReplicaID]*Replica),
-		totals:   make(map[MetricName]float64),
 	}
 }
 
 // Load returns the node's aggregate reported load for metric m.
 func (n *Node) Load(m MetricName) float64 {
+	if !m.Valid() {
+		return 0
+	}
 	v := n.totals[m]
 	if v < 0 {
 		// Guard against floating-point residue from repeated +=/-=.
@@ -221,16 +237,16 @@ func (n *Node) Replicas() []*Replica {
 func (n *Node) attach(r *Replica) {
 	n.replicas[r.ID] = r
 	r.Node = n
-	for m, v := range r.Loads {
-		n.totals[m] += v
+	for m := range r.Loads {
+		n.totals[m] += r.Loads[m]
 	}
 }
 
 // detach removes replica r from the node.
 func (n *Node) detach(r *Replica) {
 	if _, present := n.replicas[r.ID]; present {
-		for m, v := range r.Loads {
-			n.totals[m] -= v
+		for m := range r.Loads {
+			n.totals[m] -= r.Loads[m]
 		}
 	}
 	delete(n.replicas, r.ID)

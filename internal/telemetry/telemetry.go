@@ -350,7 +350,7 @@ func WriteFailoversCSV(w io.Writer, failovers []FailoverRecord) error {
 			fmt.Sprintf("%.1f", f.Downtime.Seconds()),
 			f.From,
 			f.To,
-			string(f.Metric),
+			f.Metric.String(),
 		}
 		if err := cw.Write(rec); err != nil {
 			return err

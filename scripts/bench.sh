@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# bench.sh — run the fabric hot-path benchmarks and record the results as
+# a machine-readable baseline.
+#
+# Usage:
+#   scripts/bench.sh           # full run (benchtime 2s), writes BENCH_fabric.json
+#   scripts/bench.sh smoke     # single-iteration smoke run for CI: proves the
+#                              # benchmarks still compile and run, writes nothing
+#
+# Environment:
+#   BENCHTIME   overrides the -benchtime for the full run (default 2s)
+#   OUT         overrides the output path (default BENCH_fabric.json)
+#
+# The JSON maps each benchmark to its ns/op, B/op, and allocs/op, so a
+# later run can be diffed against the committed baseline. The numbers are
+# machine-dependent: compare runs from the same machine only.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHES='^(BenchmarkPlacement|BenchmarkGreedyPlacement|BenchmarkPlace|BenchmarkScan|BenchmarkPLBScan|BenchmarkReportLoad|BenchmarkNamingService|BenchmarkSimulatedDay)$'
+BENCHTIME="${BENCHTIME:-2s}"
+OUT="${OUT:-BENCH_fabric.json}"
+
+if [[ "${1:-}" == "smoke" ]]; then
+    # Smoke mode: one iteration per benchmark, no baseline written, no
+    # comparison gate — this only guards against benchmark bit-rot.
+    exec go test ./internal/fabric/ -run '^$' -bench "$BENCHES" -benchtime 1x -benchmem
+fi
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+go test ./internal/fabric/ -run '^$' -bench "$BENCHES" -benchtime "$BENCHTIME" -benchmem | tee "$raw"
+
+awk '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)   # strip the GOMAXPROCS suffix
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op")     ns = $(i - 1)
+        if ($i == "B/op")      bytes = $(i - 1)
+        if ($i == "allocs/op") allocs = $(i - 1)
+    }
+    if (ns == "") next
+    names[++n] = name
+    nsv[name] = ns; bv[name] = bytes; av[name] = allocs
+}
+END {
+    print "{"
+    for (i = 1; i <= n; i++) {
+        name = names[i]
+        sep = (i < n) ? "," : ""
+        printf "  \"%s\": {\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}%s\n", \
+            name, nsv[name], bv[name], av[name], sep
+    }
+    print "}"
+}
+' "$raw" > "$OUT"
+
+echo "wrote $OUT"
