@@ -29,11 +29,13 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 
+	"toto/internal/chaos"
 	"toto/internal/core"
 	"toto/internal/models"
 	"toto/internal/obs"
@@ -46,6 +48,8 @@ func main() {
 	density := flag.Float64("density", 0, "override density factor")
 	days := flag.Float64("days", 0, "override measured window in days")
 	outDir := flag.String("out", "", "write telemetry CSVs to this directory")
+	chaosPath := flag.String("chaos", "", "JSON chaos spec file injected over the measured window")
+	chaosSeed := flag.Uint64("chaos-seed", 0, "override the chaos spec's seed (nonzero)")
 	obsFlags := obs.BindFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -79,6 +83,32 @@ func main() {
 	}
 	if *days != 0 {
 		spec.Days = *days
+	}
+	if *chaosPath != "" {
+		data, err := os.ReadFile(*chaosPath)
+		if err != nil {
+			fail(err)
+		}
+		// Accept either a bare chaos spec or a full scenario file, in
+		// which case the fault schedule is lifted out of its "chaos"
+		// section (so one chaos-week file can overlay any scenario).
+		var wrapper struct {
+			Chaos json.RawMessage `json:"chaos"`
+		}
+		if json.Unmarshal(data, &wrapper) == nil && wrapper.Chaos != nil {
+			data = wrapper.Chaos
+		}
+		cs, err := chaos.ParseSpec(data)
+		if err != nil {
+			fail(err)
+		}
+		spec.Chaos = cs
+	}
+	if *chaosSeed != 0 {
+		if spec.Chaos == nil {
+			fail(fmt.Errorf("-chaos-seed given without a chaos spec (-chaos or scenario \"chaos\" section)"))
+		}
+		spec.Chaos.Seed = *chaosSeed
 	}
 
 	var set *models.ModelSet
@@ -114,9 +144,22 @@ func main() {
 		res.Creates, res.Drops, len(res.Redirects), res.FirstRedirectHour)
 	fmt.Printf("final: %.0f cores reserved, disk %.1f%%, %d failovers (%.0f cores moved)\n",
 		res.FinalReservedCores, 100*res.FinalDiskUtil, len(res.Failovers), res.TotalFailedOverCores())
+	fmt.Printf("moves: %d planned, %d unplanned failovers (planned downtime %s)\n",
+		res.PlannedMoves, res.UnplannedFailovers, res.PlannedDowntime)
 	fmt.Printf("revenue: gross $%.0f, penalty $%.0f, adjusted $%.0f (%d breached of %d DBs)\n",
 		res.Revenue.Gross, res.Revenue.Penalty, res.Revenue.Adjusted,
 		res.Revenue.Breached, res.Revenue.Databases)
+	if st := res.Chaos; st != nil {
+		fmt.Printf("chaos: %d faults scheduled, %d crashes (%d skipped), %d restarts, %d domain outages\n",
+			st.FaultsScheduled, st.Crashes, st.CrashesSkipped, st.Restarts, st.DomainOutages)
+		fmt.Printf("chaos: injected %d build failures, %d lost reports, %d naming errors\n",
+			st.BuildFailuresInjected, st.ReportsLostInjected, st.NamingErrorsInjected)
+		fmt.Printf("chaos: %d invariant checks, %d violations\n",
+			st.InvariantChecks, len(st.InvariantViolations))
+		for _, v := range st.InvariantViolations {
+			fmt.Printf("chaos: VIOLATION: %s\n", v)
+		}
+	}
 
 	if *outDir == "" {
 		return

@@ -101,6 +101,11 @@ func TestStudyArtifacts(t *testing.T) {
 			if r.Total != r.BCCores+r.GPCores {
 				t.Errorf("total mismatch: %+v", r)
 			}
+			// Telemetry failover records are emitted only for unplanned
+			// movements, so the two counts must agree.
+			if r.Unplanned != r.Failovers {
+				t.Errorf("unplanned %d != failover records %d: %+v", r.Unplanned, r.Failovers, r)
+			}
 		}
 	})
 

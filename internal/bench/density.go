@@ -333,13 +333,18 @@ func (s *Study) PrintFig12a(w io.Writer) {
 	}
 }
 
-// Fig12bRow is one density's failed-over cores split by edition.
+// Fig12bRow is one density's failed-over cores split by edition, with
+// the movement count broken down into planned moves (balancing,
+// maintenance drains) and unplanned failovers (violations, crashes) —
+// only the latter carry SLA exposure.
 type Fig12bRow struct {
-	Density  float64
-	BCCores  float64
-	GPCores  float64
-	Total    float64
+	Density   float64
+	BCCores   float64
+	GPCores   float64
+	Total     float64
 	Failovers int
+	Planned   int
+	Unplanned int
 }
 
 // Fig12b returns the failed-over core accounting.
@@ -347,10 +352,12 @@ func (s *Study) Fig12b() []Fig12bRow {
 	var rows []Fig12bRow
 	for _, r := range s.Results {
 		row := Fig12bRow{
-			Density:  r.Density,
-			BCCores:  r.FailedOverCores[slo.PremiumBC],
-			GPCores:  r.FailedOverCores[slo.StandardGP],
+			Density:   r.Density,
+			BCCores:   r.FailedOverCores[slo.PremiumBC],
+			GPCores:   r.FailedOverCores[slo.StandardGP],
 			Failovers: len(r.Failovers),
+			Planned:   r.PlannedMoves,
+			Unplanned: r.UnplannedFailovers,
 		}
 		row.Total = row.BCCores + row.GPCores
 		rows = append(rows, row)
@@ -361,12 +368,13 @@ func (s *Study) Fig12b() []Fig12bRow {
 // PrintFig12b writes the failed-over cores table.
 func (s *Study) PrintFig12b(w io.Writer) {
 	fmt.Fprintln(w, "Figure 12(b): total failed-over CPU cores over the run")
-	fmt.Fprintf(w, "%-9s %-14s %-14s %-12s %-11s %-12s %-12s %s\n",
-		"density", "BC cores", "GP cores", "total", "failovers", "BC creates", "GP creates", "peak node disk")
+	fmt.Fprintf(w, "%-9s %-14s %-14s %-12s %-11s %-9s %-11s %-12s %-12s %s\n",
+		"density", "BC cores", "GP cores", "total", "failovers", "planned", "unplanned", "BC creates", "GP creates", "peak node disk")
 	for i, row := range s.Fig12b() {
 		r := s.Results[i]
-		fmt.Fprintf(w, "%-9.0f %-14.0f %-14.0f %-12.0f %-11d %-12d %-12d %.1f%%\n",
+		fmt.Fprintf(w, "%-9.0f %-14.0f %-14.0f %-12.0f %-11d %-9d %-11d %-12d %-12d %.1f%%\n",
 			row.Density*100, row.BCCores, row.GPCores, row.Total, row.Failovers,
+			row.Planned, row.Unplanned,
 			r.CreatesByEdition[slo.PremiumBC], r.CreatesByEdition[slo.StandardGP], 100*r.PeakNodeDiskUtil)
 	}
 }

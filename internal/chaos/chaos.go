@@ -1,0 +1,500 @@
+// Package chaos is a deterministic, seeded fault-injection engine for
+// the Toto simulation. It schedules faults against the simulation clock
+// — node crashes and restarts, transient flaps, correlated fault-domain
+// outages, replica-build failures and slowdowns, lost load reports, and
+// Naming Service write errors — from a JSON scenario spec, and implements
+// fabric.FaultInjector so the fabric's hardened paths (bounded retries,
+// degraded-mode PLB) consult it at decision time.
+//
+// Determinism is the whole point: every random choice the engine makes
+// draws from streams split off one seed by fixed labels, one stream per
+// fault channel, so a build-failure draw can never perturb which node a
+// crash picks. Given the same spec, seed, and workload, a chaos run is
+// bit-for-bit reproducible — the property the chaos golden-hash test
+// locks down.
+package chaos
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"toto/internal/fabric"
+	"toto/internal/obs"
+	"toto/internal/rng"
+	"toto/internal/simclock"
+)
+
+// Fault kinds accepted in a Spec.
+const (
+	KindNodeCrash     = "node-crash"     // one node fails abruptly, restarts after DownMinutes (0 = never)
+	KindNodeFlap      = "node-flap"      // one node crash/restart cycles Count times
+	KindDomainOutage  = "domain-outage"  // every node with index % Domains == Domain crashes together
+	KindBuildFailures = "build-failures" // replica build attempts fail with probability Rate for DurationHours
+	KindBuildSlowdown = "build-slowdown" // replica builds take Factor times longer for DurationHours
+	KindReportLoss    = "report-loss"    // load reports are dropped with probability Rate for DurationHours
+	KindNamingErrors  = "naming-errors"  // naming write attempts fail with probability Rate for DurationHours
+)
+
+// Spec is the JSON-configurable fault schedule. Times are relative to
+// the engine's start instant (the measured window in a scenario run).
+type Spec struct {
+	// Seed drives every random choice the engine makes. Two runs of the
+	// same spec, seed, and workload inject identical faults.
+	Seed uint64 `json:"seed"`
+	// DisableDegradedMode leaves the PLB in its normal posture instead
+	// of enabling storm throttling, quarantine, and staleness checks.
+	DisableDegradedMode bool `json:"disableDegradedMode,omitempty"`
+	// DisableInvariantChecks skips attaching the continuous invariant
+	// checker (it validates the full cluster after every event).
+	DisableInvariantChecks bool `json:"disableInvariantChecks,omitempty"`
+	// Faults is the schedule.
+	Faults []Fault `json:"faults"`
+}
+
+// Fault is one scheduled fault. Which fields apply depends on Kind.
+type Fault struct {
+	Kind string `json:"kind"`
+	// AtHours is when the fault fires, in hours after engine start.
+	AtHours float64 `json:"atHours"`
+	// DurationHours is the active window for rate-based faults.
+	DurationHours float64 `json:"durationHours,omitempty"`
+	// DownMinutes is how long a crashed node (or domain) stays down;
+	// 0 means it never restarts.
+	DownMinutes float64 `json:"downMinutes,omitempty"`
+	// UpMinutes is the recovery gap between flap cycles.
+	UpMinutes float64 `json:"upMinutes,omitempty"`
+	// Count is the number of flap cycles.
+	Count int `json:"count,omitempty"`
+	// Node names the target node; empty picks a random up node.
+	Node string `json:"node,omitempty"`
+	// Domain and Domains define a fault domain: nodes whose index modulo
+	// Domains equals Domain fail together.
+	Domain  int `json:"domain,omitempty"`
+	Domains int `json:"domains,omitempty"`
+	// Rate is the per-operation failure probability in (0, 1].
+	Rate float64 `json:"rate,omitempty"`
+	// Factor is the build-slowdown multiplier (> 1).
+	Factor float64 `json:"factor,omitempty"`
+}
+
+// ParseSpec decodes and validates a JSON spec, rejecting unknown fields
+// so a typoed fault knob fails loudly instead of silently injecting
+// nothing.
+func ParseSpec(data []byte) (*Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("chaos: parsing spec: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Validate checks every fault for the fields its kind requires.
+func (s *Spec) Validate() error {
+	for i, f := range s.Faults {
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("chaos: fault %d (%s): %s", i, f.Kind, fmt.Sprintf(format, args...))
+		}
+		if f.AtHours < 0 {
+			return fail("negative atHours %v", f.AtHours)
+		}
+		switch f.Kind {
+		case KindNodeCrash:
+			if f.DownMinutes < 0 {
+				return fail("negative downMinutes")
+			}
+		case KindNodeFlap:
+			if f.Count < 1 {
+				return fail("flap needs count >= 1")
+			}
+			if f.DownMinutes <= 0 || f.UpMinutes <= 0 {
+				return fail("flap needs positive downMinutes and upMinutes")
+			}
+		case KindDomainOutage:
+			if f.Domains < 2 {
+				return fail("domain outage needs domains >= 2")
+			}
+			if f.Domain < 0 || f.Domain >= f.Domains {
+				return fail("domain %d out of range [0, %d)", f.Domain, f.Domains)
+			}
+			if f.DownMinutes < 0 {
+				return fail("negative downMinutes")
+			}
+		case KindBuildFailures, KindReportLoss, KindNamingErrors:
+			if f.Rate <= 0 || f.Rate > 1 {
+				return fail("rate %v outside (0, 1]", f.Rate)
+			}
+			if f.DurationHours <= 0 {
+				return fail("rate fault needs positive durationHours")
+			}
+		case KindBuildSlowdown:
+			if f.Factor <= 1 {
+				return fail("slowdown factor %v must exceed 1", f.Factor)
+			}
+			if f.DurationHours <= 0 {
+				return fail("slowdown needs positive durationHours")
+			}
+		default:
+			return fail("unknown fault kind")
+		}
+	}
+	return nil
+}
+
+// Stats summarizes what a schedule actually injected, plus the
+// continuous invariant checker's verdict.
+type Stats struct {
+	FaultsScheduled       int
+	Crashes               int
+	Restarts              int
+	CrashesSkipped        int // guarded: too few up nodes to crash another
+	DomainOutages         int
+	BuildFailuresInjected int
+	ReportsLostInjected   int
+	NamingErrorsInjected  int
+	InvariantChecks       int
+	InvariantViolations   []string
+}
+
+// Engine schedules a Spec's faults on the simulation clock and answers
+// the fabric's fault-injection queries. It must only be used from the
+// simulation goroutine.
+type Engine struct {
+	clock   *simclock.Clock
+	cluster *fabric.Cluster
+	spec    Spec
+	o       *obs.Obs
+
+	// One independent stream per fault channel: the schedule's node
+	// picks, build failures, report losses, and naming errors never
+	// contend for the same randomness.
+	scheduleRnd *rng.Source
+	buildRnd    *rng.Source
+	reportRnd   *rng.Source
+	namingRnd   *rng.Source
+
+	// Active rate windows (0 / 1 when inactive).
+	buildFailRate   float64
+	buildSlowFactor float64
+	reportLossRate  float64
+	namingFailRate  float64
+
+	checker *fabric.InvariantChecker
+	stats   Stats
+	started bool
+}
+
+// NewEngine builds an engine for the given cluster. The spec is
+// validated; an invalid spec returns an error rather than a partially
+// scheduled run.
+func NewEngine(clock *simclock.Clock, cluster *fabric.Cluster, spec *Spec, o *obs.Obs) (*Engine, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	root := rng.New(spec.Seed)
+	return &Engine{
+		clock:       clock,
+		cluster:     cluster,
+		spec:        *spec,
+		o:           o,
+		scheduleRnd: root.Split("schedule"),
+		buildRnd:    root.Split("build"),
+		reportRnd:   root.Split("report"),
+		namingRnd:   root.Split("naming"),
+	}, nil
+}
+
+// Start installs the engine as the cluster's fault injector, switches
+// the PLB into degraded mode, attaches the continuous invariant checker,
+// and schedules every fault relative to from (which must not precede the
+// clock's current time).
+func (e *Engine) Start(from time.Time) {
+	if e.started {
+		return
+	}
+	e.started = true
+	e.cluster.SetFaultInjector(e)
+	if !e.spec.DisableDegradedMode {
+		e.cluster.EnableDegradedMode()
+	}
+	if !e.spec.DisableInvariantChecks {
+		e.checker = fabric.NewInvariantChecker(e.cluster)
+	}
+	for i := range e.spec.Faults {
+		e.scheduleFault(from, e.spec.Faults[i])
+		e.stats.FaultsScheduled++
+	}
+	e.o.Instant("chaos.start",
+		obs.Int("faults", len(e.spec.Faults)),
+		obs.I64("seed", int64(e.spec.Seed)),
+	)
+}
+
+// Stop uninstalls the injector, closes every rate window, and leaves
+// degraded mode. Scheduled-but-unfired faults still fire; they will find
+// the rates zeroed and inject nothing through the injector paths, but
+// crashes and restarts still apply (the schedule is part of the run).
+func (e *Engine) Stop() {
+	e.cluster.SetFaultInjector(nil)
+	e.cluster.DisableDegradedMode()
+	e.buildFailRate, e.buildSlowFactor, e.reportLossRate, e.namingFailRate = 0, 0, 0, 0
+}
+
+// Stats returns what the schedule injected so far, with the invariant
+// checker's results folded in.
+func (e *Engine) Stats() Stats {
+	s := e.stats
+	if e.checker != nil {
+		s.InvariantChecks = e.checker.Checks()
+		s.InvariantViolations = e.checker.Violations()
+	}
+	return s
+}
+
+// Checker returns the attached continuous invariant checker (nil when
+// disabled or not started).
+func (e *Engine) Checker() *fabric.InvariantChecker { return e.checker }
+
+func hours(h float64) time.Duration { return time.Duration(h * float64(time.Hour)) }
+func minutes(m float64) time.Duration {
+	return time.Duration(m * float64(time.Minute))
+}
+
+func (e *Engine) scheduleFault(from time.Time, f Fault) {
+	at := from.Add(hours(f.AtHours))
+	switch f.Kind {
+	case KindNodeCrash:
+		e.clock.At(at, func(now time.Time) {
+			e.crashOne(now, f.Node, minutes(f.DownMinutes))
+		})
+	case KindNodeFlap:
+		e.clock.At(at, func(now time.Time) {
+			e.flap(now, f.Node, f.Count, minutes(f.DownMinutes), minutes(f.UpMinutes))
+		})
+	case KindDomainOutage:
+		e.clock.At(at, func(now time.Time) {
+			e.domainOutage(now, f.Domain, f.Domains, minutes(f.DownMinutes))
+		})
+	case KindBuildFailures:
+		e.rateWindow(at, hours(f.DurationHours), f.Kind, func(active bool) {
+			if active {
+				e.buildFailRate = f.Rate
+			} else {
+				e.buildFailRate = 0
+			}
+		})
+	case KindBuildSlowdown:
+		e.rateWindow(at, hours(f.DurationHours), f.Kind, func(active bool) {
+			if active {
+				e.buildSlowFactor = f.Factor
+			} else {
+				e.buildSlowFactor = 0
+			}
+		})
+	case KindReportLoss:
+		e.rateWindow(at, hours(f.DurationHours), f.Kind, func(active bool) {
+			if active {
+				e.reportLossRate = f.Rate
+			} else {
+				e.reportLossRate = 0
+			}
+		})
+	case KindNamingErrors:
+		e.rateWindow(at, hours(f.DurationHours), f.Kind, func(active bool) {
+			if active {
+				e.namingFailRate = f.Rate
+			} else {
+				e.namingFailRate = 0
+			}
+		})
+	}
+}
+
+// rateWindow toggles a rate-based fault on at start and off at
+// start+duration. Overlapping windows of the same kind are last-write-
+// wins; schedule them disjoint for additive effects.
+func (e *Engine) rateWindow(start time.Time, duration time.Duration, kind string, set func(active bool)) {
+	e.clock.At(start, func(time.Time) {
+		set(true)
+		e.o.Instant("chaos.window_open", obs.Str("kind", kind))
+	})
+	e.clock.At(start.Add(duration), func(time.Time) {
+		set(false)
+		e.o.Instant("chaos.window_close", obs.Str("kind", kind))
+	})
+}
+
+// pickUpNode returns the named node if given, else a seeded-random up,
+// non-quarantined node; nil when none qualifies.
+func (e *Engine) pickUpNode(now time.Time, named string) *fabric.Node {
+	nodes := e.cluster.Nodes()
+	if named != "" {
+		for _, n := range nodes {
+			if n.ID == named {
+				return n
+			}
+		}
+		return nil
+	}
+	up := make([]*fabric.Node, 0, len(nodes))
+	for _, n := range nodes {
+		if n.Up() {
+			up = append(up, n)
+		}
+	}
+	if len(up) == 0 {
+		return nil
+	}
+	return up[e.scheduleRnd.Intn(len(up))]
+}
+
+// crashOne crashes one node and schedules its restart. The crash is
+// skipped (counted, logged) when it would leave fewer than two up nodes
+// — a schedule that kills the whole cluster measures nothing.
+func (e *Engine) crashOne(now time.Time, named string, down time.Duration) string {
+	n := e.pickUpNode(now, named)
+	if n == nil || !n.Up() || e.cluster.UpNodes() <= 2 {
+		e.stats.CrashesSkipped++
+		e.o.Instant("chaos.crash_skipped", obs.Str("node", named))
+		return ""
+	}
+	if _, _, err := e.cluster.CrashNode(n.ID); err != nil {
+		e.stats.CrashesSkipped++
+		return ""
+	}
+	e.stats.Crashes++
+	e.o.Instant("chaos.node_crash", obs.Str("node", n.ID), obs.DurMS("down_ms", down))
+	if down > 0 {
+		id := n.ID
+		e.clock.At(now.Add(down), func(time.Time) {
+			if e.cluster.RestartNode(id) == nil {
+				e.stats.Restarts++
+			}
+		})
+	}
+	return n.ID
+}
+
+// flap crash/restart cycles one node `count` times. The node is chosen
+// once (first cycle) so the same machine flaps throughout — that is what
+// quarantine exists to contain.
+func (e *Engine) flap(now time.Time, named string, count int, down, up time.Duration) {
+	n := e.pickUpNode(now, named)
+	if n == nil {
+		e.stats.CrashesSkipped++
+		return
+	}
+	id := n.ID
+	var cycle func(now time.Time, remaining int)
+	cycle = func(now time.Time, remaining int) {
+		if remaining <= 0 {
+			return
+		}
+		if !n.Up() || e.cluster.UpNodes() <= 2 {
+			e.stats.CrashesSkipped++
+			return
+		}
+		if _, _, err := e.cluster.CrashNode(id); err != nil {
+			e.stats.CrashesSkipped++
+			return
+		}
+		e.stats.Crashes++
+		e.o.Instant("chaos.node_flap", obs.Str("node", id), obs.Int("remaining", remaining-1))
+		e.clock.At(now.Add(down), func(restartAt time.Time) {
+			if e.cluster.RestartNode(id) == nil {
+				e.stats.Restarts++
+			}
+			if remaining > 1 {
+				e.clock.At(restartAt.Add(up), func(next time.Time) {
+					cycle(next, remaining-1)
+				})
+			}
+		})
+	}
+	cycle(now, count)
+}
+
+// domainOutage crashes every node in the fault domain together (a rack
+// or power domain failing), restarting them all after down. Nodes
+// already down are left alone. The guard never lets the outage reduce
+// the cluster below two up nodes.
+func (e *Engine) domainOutage(now time.Time, domain, domains int, down time.Duration) {
+	e.stats.DomainOutages++
+	var crashed []string
+	for i, n := range e.cluster.Nodes() {
+		if i%domains != domain || !n.Up() {
+			continue
+		}
+		if e.cluster.UpNodes() <= 2 {
+			e.stats.CrashesSkipped++
+			continue
+		}
+		if _, _, err := e.cluster.CrashNode(n.ID); err == nil {
+			e.stats.Crashes++
+			crashed = append(crashed, n.ID)
+		}
+	}
+	e.o.Instant("chaos.domain_outage",
+		obs.Int("domain", domain),
+		obs.Int("nodes", len(crashed)),
+		obs.DurMS("down_ms", down),
+	)
+	if down <= 0 {
+		return
+	}
+	for _, id := range crashed {
+		id := id
+		e.clock.At(now.Add(down), func(time.Time) {
+			if e.cluster.RestartNode(id) == nil {
+				e.stats.Restarts++
+			}
+		})
+	}
+}
+
+// --- fabric.FaultInjector ---
+
+// BuildAttemptFails fails replica builds at the active window's rate.
+func (e *Engine) BuildAttemptFails(id fabric.ReplicaID, node string, attempt int) bool {
+	if e.buildFailRate <= 0 {
+		return false
+	}
+	if e.buildRnd.Bernoulli(e.buildFailRate) {
+		e.stats.BuildFailuresInjected++
+		return true
+	}
+	return false
+}
+
+// BuildSlowdownFactor reports the active slowdown multiplier.
+func (e *Engine) BuildSlowdownFactor() float64 { return e.buildSlowFactor }
+
+// ReportLost drops load reports at the active window's rate.
+func (e *Engine) ReportLost(id fabric.ReplicaID, m fabric.MetricName) bool {
+	if e.reportLossRate <= 0 {
+		return false
+	}
+	if e.reportRnd.Bernoulli(e.reportLossRate) {
+		e.stats.ReportsLostInjected++
+		return true
+	}
+	return false
+}
+
+// NamingWriteFails fails naming writes at the active window's rate.
+func (e *Engine) NamingWriteFails(key string, attempt int) bool {
+	if e.namingFailRate <= 0 {
+		return false
+	}
+	if e.namingRnd.Bernoulli(e.namingFailRate) {
+		e.stats.NamingErrorsInjected++
+		return true
+	}
+	return false
+}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"os"
+	"testing"
+)
+
+// TestChaosWeekScenario runs the repository's scenarios/chaos-week.json
+// — a fixed-seed week that exercises every fault kind (crash, flap,
+// domain outage, build failures and slowdown, report loss, naming
+// errors) — and asserts the property the chaos subsystem promises: the
+// continuous invariant checker validates the cluster after every event
+// and finds nothing, while the fault schedule demonstrably fired.
+func TestChaosWeekScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("7-day chaos scenario")
+	}
+	data, err := os.ReadFile("../../scenarios/chaos-week.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf, err := ParseScenarioFile(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sf.Chaos == nil {
+		t.Fatal("chaos-week.json has no chaos section")
+	}
+	sc := sf.Build(DefaultModels().Set)
+
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	st := res.Chaos
+	if st == nil {
+		t.Fatal("run returned no chaos stats")
+	}
+	t.Logf("chaos stats: %+v", *st)
+	t.Logf("moves: planned=%d unplanned=%d plannedDowntime=%v",
+		res.PlannedMoves, res.UnplannedFailovers, res.PlannedDowntime)
+
+	// The schedule must actually have hurt the cluster...
+	if st.Crashes == 0 || st.Restarts == 0 || st.DomainOutages == 0 {
+		t.Errorf("fault schedule did not fire: %+v", *st)
+	}
+	if st.ReportsLostInjected == 0 || st.NamingErrorsInjected == 0 {
+		t.Errorf("rate channels did not fire: %+v", *st)
+	}
+	if res.UnplannedFailovers == 0 {
+		t.Error("no unplanned failovers in a week of faults")
+	}
+	// ...and every event-by-event validation must have passed.
+	if st.InvariantChecks == 0 {
+		t.Fatal("continuous invariant checker never ran")
+	}
+	if len(st.InvariantViolations) != 0 {
+		t.Fatalf("invariant violations: %v", st.InvariantViolations)
+	}
+	// The planned/unplanned split stays consistent with telemetry: every
+	// recorded failover is an unplanned movement.
+	if len(res.Failovers) != res.UnplannedFailovers {
+		t.Errorf("telemetry failovers %d != unplanned count %d", len(res.Failovers), res.UnplannedFailovers)
+	}
+	// Unplanned downtime is priced; the run must still produce revenue.
+	if res.Revenue.Adjusted <= 0 || res.Revenue.Adjusted > res.Revenue.Gross {
+		t.Errorf("revenue under chaos: gross=%v adjusted=%v", res.Revenue.Gross, res.Revenue.Adjusted)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"toto/internal/chaos"
 	"toto/internal/models"
 	"toto/internal/obs"
 	"toto/internal/revenue"
@@ -66,6 +67,18 @@ type Result struct {
 	// BalanceMoves counts proactive balancing movements (zero unless the
 	// PLB's balancing is enabled; not included in the failover KPI).
 	BalanceMoves int
+	// UnplannedFailovers and PlannedMoves split all replica movements by
+	// cause: unplanned (capacity violations, resizes, crash evacuations)
+	// versus planned (balancing, maintenance drains). Only unplanned
+	// movements contribute SLA-penalized downtime.
+	UnplannedFailovers int
+	PlannedMoves       int
+	// PlannedDowntime sums unavailability from planned movements across
+	// all databases — reported alongside revenue, never penalized.
+	PlannedDowntime time.Duration
+	// Chaos summarizes the injected fault schedule and the continuous
+	// invariant checker's verdict (nil for runs without a chaos spec).
+	Chaos *chaos.Stats
 	// PoolsProvisioned, PoolMemberCreates, and PoolMemberDrops summarize
 	// elastic-pool churn (zero unless the model set carries a PoolPolicy).
 	PoolsProvisioned  int
@@ -153,6 +166,14 @@ func Run(s *Scenario) (*Result, error) {
 		}
 		o.Cluster.ScheduleRollingUpgrade(measureStart.Add(s.UpgradeStart), perNode)
 	}
+	var chaosEng *chaos.Engine
+	if s.Chaos != nil {
+		chaosEng, err = chaos.NewEngine(o.Clock, o.Cluster, s.Chaos, s.Obs)
+		if err != nil {
+			return nil, err
+		}
+		chaosEng.Start(measureStart)
+	}
 	o.Clock.RunUntil(measureStart.Add(s.Duration))
 	measSp.End(
 		obs.Int("failovers", o.Cluster.FailoverCount()),
@@ -199,6 +220,15 @@ func Run(s *Scenario) (*Result, error) {
 	}
 	res.NamingReads = o.Cluster.Naming().Reads()
 	res.BalanceMoves = o.Cluster.BalanceMoveCount()
+	res.UnplannedFailovers = o.Cluster.UnplannedFailoverCount()
+	res.PlannedMoves = o.Cluster.PlannedMoveCount()
+	for _, svc := range o.Cluster.Services() {
+		res.PlannedDowntime += svc.PlannedDowntime
+	}
+	if chaosEng != nil {
+		st := chaosEng.Stats()
+		res.Chaos = &st
+	}
 	res.PoolsProvisioned = len(o.Pools.Pools())
 	res.PoolMemberCreates, res.PoolMemberDrops = o.PopMgr.PoolStats()
 	runSp.End(
@@ -243,11 +273,13 @@ func scoreRevenue(o *Orchestrator, res *Result, measureStart time.Time) error {
 			downtime = lifetime
 		}
 		rev, err := revenue.Score(revenue.Usage{
-			DB:        svc.Name,
-			SLO:       sl,
-			Lifetime:  lifetime,
-			AvgDiskGB: avgDisk,
-			Downtime:  downtime,
+			DB:                 svc.Name,
+			SLO:                sl,
+			Lifetime:           lifetime,
+			AvgDiskGB:          avgDisk,
+			Downtime:           downtime,
+			PlannedDowntime:    svc.PlannedDowntime,
+			UnplannedFailovers: svc.UnplannedFailovers,
 		}, sla)
 		if err != nil {
 			return err

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"time"
 
+	"toto/internal/chaos"
 	"toto/internal/fabric"
 	"toto/internal/models"
 	"toto/internal/obs"
@@ -96,6 +97,11 @@ type Scenario struct {
 	// UpgradePerNode is each node's maintenance window (default 20m when
 	// an upgrade is scheduled without one).
 	UpgradePerNode time.Duration
+	// Chaos, when set, attaches a deterministic fault-injection schedule
+	// to the measured window: the engine installs itself as the fabric's
+	// fault injector, switches the PLB into degraded mode, and validates
+	// cluster invariants after every event (see internal/chaos).
+	Chaos *chaos.Spec
 	// FabricOverrides, when set, is applied to the fabric configuration
 	// after the scenario's defaults — the hook ablation benches use to
 	// flip PLB policies (greedy placement, degradation accounting,
@@ -124,6 +130,11 @@ func (s *Scenario) Validate() error {
 	}
 	if s.Catalog == nil {
 		return fmt.Errorf("core: scenario %q has no SLO catalog", s.Name)
+	}
+	if s.Chaos != nil {
+		if err := s.Chaos.Validate(); err != nil {
+			return fmt.Errorf("core: scenario %q: %w", s.Name, err)
+		}
 	}
 	for e, mix := range s.Population.SLOMix {
 		for _, sw := range mix {

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"time"
 
+	"toto/internal/chaos"
 	"toto/internal/models"
 	"toto/internal/slo"
 )
@@ -37,6 +38,9 @@ type ScenarioFile struct {
 	// upgrade this many hours into the measured window.
 	UpgradeStartHours   float64 `json:"upgradeStartHours"`
 	UpgradePerNodeHours float64 `json:"upgradePerNodeHours"`
+	// Chaos optionally attaches a deterministic fault schedule to the
+	// measured window (see internal/chaos for the schema).
+	Chaos *chaos.Spec `json:"chaos"`
 }
 
 // ParseScenarioFile decodes the JSON schema. Unknown fields are rejected
@@ -51,6 +55,11 @@ func ParseScenarioFile(data []byte) (*ScenarioFile, error) {
 	}
 	if sf.Density < 0 || sf.Days < 0 || sf.BootstrapHours < 0 {
 		return nil, fmt.Errorf("core: scenario file has negative durations or density")
+	}
+	if sf.Chaos != nil {
+		if err := sf.Chaos.Validate(); err != nil {
+			return nil, err
+		}
 	}
 	return &sf, nil
 }
@@ -102,5 +111,6 @@ func (sf *ScenarioFile) Build(set *models.ModelSet) *Scenario {
 			sc.UpgradePerNode = time.Duration(sf.UpgradePerNodeHours * float64(time.Hour))
 		}
 	}
+	sc.Chaos = sf.Chaos
 	return sc
 }

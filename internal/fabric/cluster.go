@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"toto/internal/obs"
+	"toto/internal/rng"
 	"toto/internal/simclock"
 )
 
@@ -63,6 +64,32 @@ type Config struct {
 	// GreedyPlacement disables simulated annealing and uses pure greedy
 	// least-loaded placement (for the ablation bench).
 	GreedyPlacement bool
+	// CrashDetectionDelay is the extra unavailability a primary suffers
+	// when its node crashes (failure detection + lease expiry) before the
+	// usual promotion or reattach downtime begins. Only crash evacuations
+	// charge it; planned drains move primaries gracefully.
+	CrashDetectionDelay time.Duration
+	// RetryMaxAttempts bounds the retry loop around replica builds and
+	// Naming Service writes when a fault injector is active.
+	RetryMaxAttempts int
+	// RetryBackoffBase is the first retry's nominal backoff delay; each
+	// further attempt doubles it up to RetryBackoffMax. The realized
+	// delay is jittered in [0.5, 1.0) of nominal from a dedicated seeded
+	// stream, so retries never perturb placement randomness.
+	RetryBackoffBase time.Duration
+	// RetryBackoffMax caps the exponential backoff delay.
+	RetryBackoffMax time.Duration
+	// DegradedMaxMovesPerScan caps the violation-fix moves a single PLB
+	// scan may make while degraded mode is on, throttling failover storms
+	// after correlated failures. 0 means no cap even when degraded.
+	DegradedMaxMovesPerScan int
+	// QuarantineWindow is how long a crashed node stays excluded from
+	// placement and failover targets after restarting in degraded mode.
+	QuarantineWindow time.Duration
+	// LoadStalenessTimeout is how old a node's last load report may be
+	// before the degraded-mode PLB stops firing failovers from its
+	// last-known-good loads. 0 disables the staleness check.
+	LoadStalenessTimeout time.Duration
 	// DegradationFactor converts time a primary replica spends on a node
 	// whose load exceeds logical capacity into customer-visible
 	// unavailability ("a database temporarily needing to wait for
@@ -88,6 +115,13 @@ func DefaultConfig() Config {
 		PrimarySwapDowntime:       15 * time.Second,
 		SingleReplicaMoveDowntime: 75 * time.Second,
 		MaxMovesPerViolation:      4,
+		CrashDetectionDelay:       30 * time.Second,
+		RetryMaxAttempts:          4,
+		RetryBackoffBase:          5 * time.Second,
+		RetryBackoffMax:           2 * time.Minute,
+		DegradedMaxMovesPerScan:   8,
+		QuarantineWindow:          30 * time.Minute,
+		LoadStalenessTimeout:      time.Hour,
 		DegradationFactor:         0.20,
 		BalancingEnabled:          false,
 		BalanceSpread:             0.35,
@@ -110,6 +144,16 @@ type Cluster struct {
 	failoverEvents int
 	balanceMoves   int
 
+	// fault-hardening state (see faults.go); all zero-valued and inert
+	// unless a fault injector is installed or degraded mode is enabled.
+	injector      FaultInjector
+	degraded      bool
+	retryRnd      *rng.Source
+	buildRetries  int
+	buildFailures int
+	buildAborts   int
+	reportsLost   int
+
 	obs     *obs.Obs
 	metrics clusterMetrics
 }
@@ -127,6 +171,20 @@ type clusterMetrics struct {
 	movedDiskGB     *obs.Histogram // fabric.moved_disk_gb
 	buildSeconds    *obs.Histogram // fabric.build_seconds
 	downtimeSeconds *obs.Histogram // fabric.downtime_seconds
+
+	// fault-hardening instruments (see faults.go)
+	unplannedFailovers *obs.Counter   // fabric.unplanned_failovers
+	plannedMoves       *obs.Counter   // fabric.planned_moves
+	nodeCrashes        *obs.Counter   // fabric.node_crashes
+	quarantines        *obs.Counter   // fabric.node_quarantines
+	buildRetries       *obs.Counter   // fabric.build_retries
+	buildFailures      *obs.Counter   // fabric.build_failures
+	buildAborts        *obs.Counter   // fabric.build_aborts
+	reportsLost        *obs.Counter   // fabric.reports_lost
+	throttledMoves     *obs.Counter   // fabric.throttled_moves
+	staleSkips         *obs.Counter   // fabric.stale_node_skips
+	degradedMode       *obs.Gauge     // fabric.degraded_mode
+	backoffSeconds     *obs.Histogram // fabric.backoff_seconds
 }
 
 func newClusterMetrics(o *obs.Obs) clusterMetrics {
@@ -140,6 +198,19 @@ func newClusterMetrics(o *obs.Obs) clusterMetrics {
 		movedDiskGB:     o.Histogram("fabric.moved_disk_gb"),
 		buildSeconds:    o.Histogram("fabric.build_seconds"),
 		downtimeSeconds: o.Histogram("fabric.downtime_seconds"),
+
+		unplannedFailovers: o.Counter("fabric.unplanned_failovers"),
+		plannedMoves:       o.Counter("fabric.planned_moves"),
+		nodeCrashes:        o.Counter("fabric.node_crashes"),
+		quarantines:        o.Counter("fabric.node_quarantines"),
+		buildRetries:       o.Counter("fabric.build_retries"),
+		buildFailures:      o.Counter("fabric.build_failures"),
+		buildAborts:        o.Counter("fabric.build_aborts"),
+		reportsLost:        o.Counter("fabric.reports_lost"),
+		throttledMoves:     o.Counter("fabric.throttled_moves"),
+		staleSkips:         o.Counter("fabric.stale_node_skips"),
+		degradedMode:       o.Gauge("fabric.degraded_mode"),
+		backoffSeconds:     o.Histogram("fabric.backoff_seconds"),
 	}
 }
 
@@ -163,10 +234,16 @@ func NewCluster(clock *simclock.Clock, nodeCount int, nodeCapacity map[MetricNam
 	c.naming.instrument(
 		cfg.Obs.Counter("fabric.naming_reads"),
 		cfg.Obs.Counter("fabric.naming_writes"),
+		cfg.Obs.Counter("fabric.naming_write_retries"),
+		cfg.Obs.Counter("fabric.naming_write_drops"),
 	)
 	capVec := vectorFromMap(nodeCapacity)
 	for i := 0; i < nodeCount; i++ {
-		c.nodes = append(c.nodes, newNode(fmt.Sprintf("node-%d", i), i, capVec))
+		n := newNode(fmt.Sprintf("node-%d", i), i, capVec)
+		// A fresh node counts as freshly reported, so the degraded-mode
+		// staleness check measures from cluster start, not the zero time.
+		n.lastReport = clock.Now()
+		c.nodes = append(c.nodes, n)
 	}
 	c.plb = newPLB(c, cfg)
 	return c
@@ -375,8 +452,17 @@ func (c *Cluster) ReportLoad(id ReplicaID, m MetricName, value float64) error {
 	if value < 0 {
 		return fmt.Errorf("fabric: negative load %f for %s", value, m)
 	}
+	// A lost report leaves the PLB acting on the node's last-known-good
+	// loads; degraded mode bounds how long it will keep doing so (see
+	// the staleness check in fixViolations).
+	if c.injector != nil && c.injector.ReportLost(id, m) {
+		c.reportsLost++
+		c.metrics.reportsLost.Inc()
+		return nil
+	}
 	if r.Node != nil {
 		r.Node.applyLoadDelta(m, value-r.Loads[m])
+		r.Node.lastReport = c.clock.Now()
 	}
 	r.Loads[m] = value
 	return nil
@@ -424,10 +510,33 @@ func (c *Cluster) ForceMove(id ReplicaID, targetNode string) error {
 	return nil
 }
 
+// moveCause refines an EventKind with why the movement happened, for
+// downtime accounting: planned moves (balancing, maintenance drains) are
+// operator-chosen and excluded from SLA penalties; unplanned moves
+// (violations, resizes, ForceMove) are forced; crash evacuations are
+// unplanned and additionally charge the failure-detection delay.
+type moveCause int
+
+const (
+	moveCausePlanned moveCause = iota
+	moveCauseUnplanned
+	moveCauseCrash
+)
+
 // moveReplica relocates r from its current node to target, performing the
 // failover bookkeeping: role swap, downtime, build time, counters, and
-// event emission. kind selects failover vs balancing accounting.
+// event emission. kind selects failover vs balancing accounting; the
+// cause is inferred from it (crash evacuations call moveReplicaCause
+// directly).
 func (c *Cluster) moveReplica(r *Replica, target *Node, metric MetricName, kind EventKind) {
+	cause := moveCausePlanned
+	if kind == EventFailover {
+		cause = moveCauseUnplanned
+	}
+	c.moveReplicaCause(r, target, metric, kind, cause)
+}
+
+func (c *Cluster) moveReplicaCause(r *Replica, target *Node, metric MetricName, kind EventKind, cause moveCause) {
 	svc := r.service
 	from := r.Node
 	fromID := ""
@@ -439,6 +548,11 @@ func (c *Cluster) moveReplica(r *Replica, target *Node, metric MetricName, kind 
 	movedDisk := r.Loads[MetricDiskGB]
 	var downtime time.Duration
 	if r.Role == Primary {
+		if cause == moveCauseCrash {
+			// The node died under the primary: customers wait through
+			// failure detection before promotion or reattach even starts.
+			downtime += c.cfg.CrashDetectionDelay
+		}
 		if svc.ReplicaCount > 1 {
 			// Promote a placed secondary; the moved replica rejoins as a
 			// secondary ("a secondary replica is becoming the primary",
@@ -450,11 +564,11 @@ func (c *Cluster) moveReplica(r *Replica, target *Node, metric MetricName, kind 
 					break
 				}
 			}
-			downtime = c.cfg.PrimarySwapDowntime
+			downtime += c.cfg.PrimarySwapDowntime
 		} else {
 			// Single-replica remote-store database: detach/reattach the
 			// remote storage on the new node.
-			downtime = c.cfg.SingleReplicaMoveDowntime
+			downtime += c.cfg.SingleReplicaMoveDowntime
 		}
 	}
 
@@ -465,6 +579,9 @@ func (c *Cluster) moveReplica(r *Replica, target *Node, metric MetricName, kind 
 	if svc.ReplicaCount > 1 && c.cfg.BuildRateGBPerSec > 0 {
 		build = time.Duration(movedDisk / c.cfg.BuildRateGBPerSec * float64(time.Second))
 	}
+	// Under fault injection the copy may fail and retry with backoff,
+	// stretching the build; without an injector this returns build as-is.
+	build = c.buildWithRetries(r, target, build)
 
 	// Dynamic loads reset on the new node: the fresh replica reports its
 	// own state at the next interval (persisted metrics are restored from
@@ -473,17 +590,31 @@ func (c *Cluster) moveReplica(r *Replica, target *Node, metric MetricName, kind 
 	r.Loads[MetricMemoryGB] = 0
 	r.Incarnation++
 	target.attach(r)
+	now := c.clock.Now()
+	if build > 0 {
+		r.buildDoneAt = now.Add(build)
+	} else {
+		r.buildDoneAt = time.Time{}
+	}
 
-	svc.Downtime += downtime
 	svc.FailoverCount++
 	svc.FailedOverCores += svc.ReservedCoresPerReplica
 	spanName := "fabric.failover"
 	if kind == EventFailover {
+		// Unplanned: the SLA model prices this downtime (§5.1).
+		svc.UnplannedFailovers++
+		svc.Downtime += downtime
 		c.failoverEvents++
 		c.metrics.failovers.Inc()
+		c.metrics.unplannedFailovers.Inc()
 	} else {
+		// Planned: reported, never priced — real SLAs exclude scheduled
+		// maintenance windows.
+		svc.PlannedMoves++
+		svc.PlannedDowntime += downtime
 		c.balanceMoves++
 		c.metrics.balanceMoves.Inc()
+		c.metrics.plannedMoves.Inc()
 		spanName = "fabric.balance_move"
 	}
 	c.metrics.movedDiskGB.Observe(movedDisk)
@@ -493,7 +624,6 @@ func (c *Cluster) moveReplica(r *Replica, target *Node, metric MetricName, kind 
 	// The move decision is instantaneous in sim time; its customer-visible
 	// downtime window and the replica rebuild are the regions worth seeing
 	// on the simulated timeline.
-	now := c.clock.Now()
 	c.obs.Emit(spanName, now, downtime,
 		obs.Str("replica", r.ID.String()),
 		obs.Str("metric", metric.String()),

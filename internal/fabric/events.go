@@ -33,6 +33,10 @@ func (k EventKind) String() string {
 		return "node-down"
 	case EventNodeUp:
 		return "node-up"
+	case EventNodeCrashed:
+		return "node-crashed"
+	case EventNodeRestarted:
+		return "node-restarted"
 	default:
 		return "unknown"
 	}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"toto/internal/obs"
+	"toto/internal/rng"
 	"toto/internal/simclock"
 )
 
@@ -177,6 +178,46 @@ func benchmarkSimulatedDay(b *testing.B, newObs func() *obs.Obs) {
 		}
 		c := NewCluster(clock, 14, testCapacity(), cfg)
 		c.Start()
+		for j := 0; j < 200; j++ {
+			c.CreateService(fmt.Sprintf("db-%d", j), 1, 2, nil)
+		}
+		hour := 0
+		clock.Every(time.Hour, func(now time.Time) {
+			hour++
+			c.CreateService(fmt.Sprintf("churn-%d-%d", i, hour), 1, 2, nil)
+			for _, svc := range c.LiveServices() {
+				c.ReportLoad(svc.Replicas[0].ID, MetricDiskGB, float64(hour)*3)
+			}
+		})
+		clock.RunUntil(testStart.Add(24 * time.Hour))
+		c.Stop()
+	}
+}
+
+// BenchmarkSimulatedDayWithFaults is BenchmarkSimulatedDay under an
+// active fault schedule: a seeded injector (build failures, report
+// loss, naming errors), degraded-mode PLB, and a crash/restart pair —
+// the marginal cost of the fault-hardening layer when it is actually
+// exercised. Compare against BenchmarkSimulatedDay for the overhead.
+func BenchmarkSimulatedDayWithFaults(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		clock := simclock.New(testStart)
+		c := NewCluster(clock, 14, testCapacity(), DefaultConfig())
+		c.Start()
+		root := rng.New(uint64(99))
+		inj := &chaosTestInjector{
+			buildRnd:   root.Split("build"),
+			reportRnd:  root.Split("report"),
+			namingRnd:  root.Split("naming"),
+			buildRate:  0.2,
+			reportRate: 0.1,
+			namingRate: 0.1,
+		}
+		c.SetFaultInjector(inj)
+		c.EnableDegradedMode()
+		clock.At(testStart.Add(6*time.Hour), func(time.Time) { _, _, _ = c.CrashNode("node-5") })
+		clock.At(testStart.Add(7*time.Hour), func(time.Time) { _ = c.RestartNode("node-5") })
 		for j := 0; j < 200; j++ {
 			c.CreateService(fmt.Sprintf("db-%d", j), 1, 2, nil)
 		}

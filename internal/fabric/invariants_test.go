@@ -2,7 +2,6 @@ package fabric
 
 import (
 	"fmt"
-	"math"
 	"testing"
 	"testing/quick"
 	"time"
@@ -11,53 +10,13 @@ import (
 	"toto/internal/simclock"
 )
 
-// checkInvariants verifies the structural invariants every cluster state
-// must satisfy, regardless of the operation history:
-//
-//  1. cached node totals equal the sum of hosted replica loads;
-//  2. replicas of one service sit on distinct nodes;
-//  3. every live service has exactly one primary;
-//  4. cluster-wide reserved cores equal the sum over live services;
-//  5. every live replica is attached to the node it points at.
+// checkInvariants asserts the production invariant set (invariants.go);
+// the continuous InvariantChecker runs the same code after every event
+// during chaos schedules.
 func checkInvariants(t *testing.T, c *Cluster) {
 	t.Helper()
-	for _, n := range c.Nodes() {
-		for _, m := range AllMetrics() {
-			sum := 0.0
-			for _, r := range n.Replicas() {
-				sum += r.Loads[m]
-			}
-			if math.Abs(sum-n.Load(m)) > 1e-6 {
-				t.Fatalf("node %s metric %s: cached total %v != replica sum %v", n.ID, m, n.Load(m), sum)
-			}
-		}
-	}
-	totalCores := 0.0
-	for _, svc := range c.LiveServices() {
-		primaries := 0
-		seen := map[*Node]bool{}
-		for _, r := range svc.Replicas {
-			if r.Role == Primary {
-				primaries++
-			}
-			if r.Node == nil {
-				t.Fatalf("live service %s has an unplaced replica", svc.Name)
-			}
-			if seen[r.Node] {
-				t.Fatalf("service %s has two replicas on %s", svc.Name, r.Node.ID)
-			}
-			seen[r.Node] = true
-			if r.Node.replicas[r.ID] != r {
-				t.Fatalf("replica %s not attached to its node", r.ID)
-			}
-		}
-		if primaries != 1 {
-			t.Fatalf("service %s has %d primaries", svc.Name, primaries)
-		}
-		totalCores += svc.TotalReservedCores()
-	}
-	if math.Abs(totalCores-c.ReservedCores()) > 1e-6 {
-		t.Fatalf("cluster reserved %v != service sum %v", c.ReservedCores(), totalCores)
+	if err := CheckInvariants(c); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -2,7 +2,6 @@ package fabric
 
 import (
 	"fmt"
-	"sort"
 	"time"
 
 	"toto/internal/obs"
@@ -43,26 +42,9 @@ func (c *Cluster) SetNodeDown(id string) (evacuated, stranded int, err error) {
 	sp := c.obs.Span("fabric.node_drain", obs.Str("node", id))
 	c.obs.Counter("fabric.node_drains").Inc()
 	n.down = true // placement and targets exclude it from here on
-	// Drain in replica-ID order: Node.Replicas() surfaces Go map order,
-	// and the evacuation order decides both how the annealer's randomness
-	// is consumed and which targets fill first — iterating the raw map
-	// would make maintenance the one nondeterministic path in the run.
-	replicas := n.Replicas()
-	sort.Slice(replicas, func(i, j int) bool {
-		if replicas[i].ID.Service != replicas[j].ID.Service {
-			return replicas[i].ID.Service < replicas[j].ID.Service
-		}
-		return replicas[i].ID.Index < replicas[j].ID.Index
-	})
-	for _, r := range replicas {
-		target := c.plb.chooseTarget(r)
-		if target == nil {
-			stranded++
-			continue
-		}
-		c.moveReplica(r, target, MetricCores, EventBalanceMove)
-		evacuated++
-	}
+	// The sorted-order evacuation is shared with CrashNode (faults.go);
+	// drains account their moves as planned.
+	evacuated, stranded = c.evacuateNode(n, EventBalanceMove, false)
 	if stranded > 0 {
 		c.obs.Log().Warnf("fabric: drain of %s stranded %d replicas", id, stranded)
 	}
@@ -81,6 +63,7 @@ func (c *Cluster) SetNodeUp(id string) error {
 		return fmt.Errorf("fabric: node %q is not down", id)
 	}
 	n.down = false
+	n.crashed = false
 	c.obs.Instant("fabric.node_up", obs.Str("node", id))
 	c.emit(Event{Kind: EventNodeUp, Time: c.clock.Now(), To: id})
 	return nil

@@ -96,8 +96,17 @@ func TestEvacuationPromotesPrimaries(t *testing.T) {
 	if svc.Primary().Node == primaryNode {
 		t.Error("primary still on drained node")
 	}
-	if svc.Downtime == 0 {
-		t.Error("primary evacuation accrued no downtime")
+	// A drain is planned: its promotion downtime is reported but never
+	// priced by the SLA model, so it lands in PlannedDowntime.
+	if svc.PlannedDowntime == 0 {
+		t.Error("primary evacuation accrued no planned downtime")
+	}
+	if svc.Downtime != 0 {
+		t.Errorf("planned drain charged unplanned downtime %v", svc.Downtime)
+	}
+	if svc.PlannedMoves == 0 || svc.UnplannedFailovers != 0 {
+		t.Errorf("drain accounting: planned=%d unplanned=%d, want planned>0 unplanned=0",
+			svc.PlannedMoves, svc.UnplannedFailovers)
 	}
 }
 

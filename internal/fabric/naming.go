@@ -4,6 +4,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"toto/internal/obs"
 )
@@ -24,8 +25,20 @@ type NamingService struct {
 	reads   int64
 
 	// registry counters (nil-safe no-ops when observability is off)
-	cReads  *obs.Counter
-	cWrites *obs.Counter
+	cReads        *obs.Counter
+	cWrites       *obs.Counter
+	cWriteRetries *obs.Counter
+	cWriteDrops   *obs.Counter
+
+	// fault injection (set by the owning cluster; nil = writes never
+	// fail). backoffFn computes the jittered backoff delay charged for a
+	// failed attempt, letting the cluster account it without the store
+	// owning a clock or RNG.
+	injector     FaultInjector
+	retry        retryPolicy
+	backoffFn    func(attempt int) time.Duration
+	writeRetries int64
+	writeDrops   int64
 }
 
 type namingEntry struct {
@@ -38,22 +51,104 @@ func NewNamingService() *NamingService {
 	return &NamingService{entries: make(map[string]namingEntry)}
 }
 
-// instrument attaches registry counters for reads and writes. Called by
-// the owning cluster; nil counters keep the store uninstrumented.
-func (n *NamingService) instrument(reads, writes *obs.Counter) {
+// instrument attaches registry counters for reads, writes, write
+// retries, and dropped writes. Called by the owning cluster; nil
+// counters keep the store uninstrumented.
+func (n *NamingService) instrument(reads, writes, writeRetries, writeDrops *obs.Counter) {
 	n.cReads = reads
 	n.cWrites = writes
+	n.cWriteRetries = writeRetries
+	n.cWriteDrops = writeDrops
+}
+
+// setInjector installs the fault injector consulted on every write,
+// with the bounded-retry policy and backoff accounting hook.
+func (n *NamingService) setInjector(fi FaultInjector, pol retryPolicy, backoffFn func(attempt int) time.Duration) {
+	n.injector = fi
+	n.retry = pol
+	n.backoffFn = backoffFn
 }
 
 // Put stores value under key and returns the new entry version. The value
-// is copied, so callers may reuse their buffer.
+// is copied, so callers may reuse their buffer. Under fault injection the
+// write is retried with exponential backoff up to the retry budget; a
+// write that exhausts it is dropped and Put returns 0 — callers poll the
+// store by version, so a dropped model write is repaired by the writer's
+// next refresh rather than by blocking the simulation.
 func (n *NamingService) Put(key string, value []byte) int64 {
+	if n.injector != nil {
+		attempts := n.retry.maxAttempts
+		if attempts < 1 {
+			attempts = 1
+		}
+		ok := false
+		for attempt := 1; attempt <= attempts; attempt++ {
+			if !n.injector.NamingWriteFails(key, attempt) {
+				ok = true
+				break
+			}
+			if attempt < attempts {
+				n.cWriteRetries.Inc()
+				n.mu.Lock()
+				n.writeRetries++
+				n.mu.Unlock()
+				if n.backoffFn != nil {
+					n.backoffFn(attempt)
+				}
+			}
+		}
+		if !ok {
+			n.cWriteDrops.Inc()
+			n.mu.Lock()
+			n.writeDrops++
+			n.mu.Unlock()
+			return 0
+		}
+	}
 	n.cWrites.Inc()
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.version++
 	n.entries[key] = namingEntry{value: append([]byte(nil), value...), version: n.version}
 	return n.version
+}
+
+// WriteRetries returns the cumulative number of write attempts that
+// failed and were retried.
+func (n *NamingService) WriteRetries() int64 {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.writeRetries
+}
+
+// WriteDrops returns the number of writes abandoned after exhausting the
+// retry budget.
+func (n *NamingService) WriteDrops() int64 {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.writeDrops
+}
+
+// CurrentVersion returns the store's global write version.
+func (n *NamingService) CurrentVersion() int64 {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.version
+}
+
+// MaxEntryVersion returns the largest per-entry version currently stored
+// (0 when empty). Structurally it can never exceed CurrentVersion; the
+// continuous invariant checker asserts exactly that.
+func (n *NamingService) MaxEntryVersion() int64 {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	var max int64
+	for _, e := range n.entries {
+		if e.version > max {
+			max = e.version
+		}
+	}
+	return max
 }
 
 // Get returns the value and version stored under key. The returned slice

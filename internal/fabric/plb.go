@@ -146,11 +146,12 @@ func (p *plb) search(svc *Service) (chosen []*Node, feasibleCount, iterations in
 	p.ensureCaps()
 
 	// Feasibility first: count up nodes with enough free cores. Replicas
-	// of one service must land on distinct nodes; drained nodes accept
-	// nothing.
+	// of one service must land on distinct nodes; drained and quarantined
+	// nodes accept nothing.
+	now := p.cluster.clock.Now()
 	feasible := p.feasible[:0]
 	for _, n := range nodes {
-		if n.Up() && p.freeCores(n) >= need {
+		if n.Up() && !n.Quarantined(now) && p.freeCores(n) >= need {
 			feasible = append(feasible, n)
 		}
 	}
@@ -260,9 +261,21 @@ func (p *plb) scan(now time.Time) {
 	sp := p.cluster.obs.Span("plb.scan")
 	p.ensureCaps()
 	p.accrueDegradation()
+	// Degraded mode caps the violation moves one scan may make, so a
+	// correlated failure cannot trigger a failover storm that itself
+	// overloads the surviving nodes. Unserved violations wait for the
+	// next scan.
+	budget := -1 // unlimited
+	if p.cluster.degraded && p.cfg.DegradedMaxMovesPerScan > 0 {
+		budget = p.cfg.DegradedMaxMovesPerScan
+	}
 	moves := 0
 	for _, m := range violationFixOrder {
-		moves += p.fixViolations(m)
+		rem := -1
+		if budget >= 0 {
+			rem = budget - moves
+		}
+		moves += p.fixViolations(m, now, rem)
 	}
 	if p.cfg.BalancingEnabled {
 		p.balance(now)
@@ -304,12 +317,33 @@ func (p *plb) accrueDegradation() {
 // capacity, until the node is under capacity or the per-violation move
 // budget is spent, returning the number of moves made. Drained nodes are
 // skipped: their replicas already left, and any stranded ones have
-// nowhere better to go.
-func (p *plb) fixViolations(m MetricName) int {
+// nowhere better to go. scanBudget (< 0 = unlimited) is the degraded-mode
+// cap on moves remaining for the whole scan.
+func (p *plb) fixViolations(m MetricName, now time.Time, scanBudget int) int {
 	total := 0
+	stale := time.Duration(0)
+	if p.cluster.degraded {
+		stale = p.cfg.LoadStalenessTimeout
+	}
 	// Stable node order keeps runs reproducible given a fixed PLB seed.
 	for _, n := range p.cluster.nodes {
 		if !n.Up() || n.Load(m) <= p.capacity(n, m) {
+			continue
+		}
+		if scanBudget >= 0 && total >= scanBudget {
+			// Storm throttle: violations remain but the scan's move budget
+			// is spent; they will be retried next scan.
+			p.cluster.metrics.throttledMoves.Inc()
+			break
+		}
+		if stale > 0 && now.Sub(n.lastReport) > stale {
+			// The apparent violation is built on loads nobody has confirmed
+			// within the staleness timeout — under faults, moving replicas
+			// on ancient data does more harm than waiting for a report.
+			p.cluster.metrics.staleSkips.Inc()
+			if log := p.cluster.obs.Log(); log.Enabled(obs.LevelWarn) {
+				log.Warnf("plb: skipping violation on %s (%s): load reports stale", n.ID, m)
+			}
 			continue
 		}
 		// The span opens only once a violation exists, so quiet scans add
@@ -321,7 +355,8 @@ func (p *plb) fixViolations(m MetricName) int {
 			obs.Float("capacity", p.capacity(n, m)),
 		)
 		moves := 0
-		for n.Load(m) > p.capacity(n, m) && moves < p.cfg.MaxMovesPerViolation {
+		for n.Load(m) > p.capacity(n, m) && moves < p.cfg.MaxMovesPerViolation &&
+			(scanBudget < 0 || total+moves < scanBudget) {
 			victim := p.chooseVictim(n, m)
 			if victim == nil {
 				break
@@ -428,9 +463,10 @@ func (p *plb) chooseTarget(r *Replica) *Node {
 		MetricDiskGB:   r.Loads[MetricDiskGB],
 		MetricMemoryGB: r.Loads[MetricMemoryGB],
 	}
+	now := p.cluster.clock.Now()
 	candidates := p.targets[:0]
 	for _, n := range p.cluster.nodes {
-		if n == r.Node || !n.Up() {
+		if n == r.Node || !n.Up() || n.Quarantined(now) {
 			continue
 		}
 		if p.hostsServiceReplica(n, svc, r) {
@@ -471,7 +507,7 @@ func (p *plb) hostsServiceReplica(n *Node, svc *Service, r *Replica) bool {
 // balance performs at most one proactive move per scan when the disk
 // utilization spread between the most- and least-loaded nodes exceeds the
 // configured threshold.
-func (p *plb) balance(_ time.Time) {
+func (p *plb) balance(now time.Time) {
 	p.ensureCaps()
 	var hi, lo *Node
 	var hiU, loU float64
@@ -483,6 +519,14 @@ func (p *plb) balance(_ time.Time) {
 		u := n.Load(MetricDiskGB) / cap
 		if hi == nil || u > hiU {
 			hi, hiU = n, u
+		}
+		// Quarantined nodes cannot receive the balancing move. (Down nodes
+		// are deliberately NOT excluded here: the historical golden runs
+		// allow a drained node to be the balancing target, and changing
+		// that would alter every recorded event stream. Quarantine only
+		// exists under chaos, where no golden stream is at stake.)
+		if n.Quarantined(now) {
+			continue
 		}
 		if lo == nil || u < loU {
 			lo, loU = n, u

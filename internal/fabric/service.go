@@ -58,7 +58,14 @@ type Replica struct {
 	// tie-breaking comparators never format strings (or allocate) inside
 	// a sort loop.
 	sortKey string
+	// buildDoneAt is when the replica's in-flight data copy finishes; zero
+	// when no build is pending. A node crash before this instant aborts
+	// the build and forces a deterministic re-placement (see faults.go).
+	buildDoneAt time.Time
 }
+
+// Building reports whether the replica has a data copy in flight at now.
+func (r *Replica) Building(now time.Time) bool { return r.buildDoneAt.After(now) }
 
 // Service returns the service this replica belongs to.
 func (r *Replica) Service() *Service { return r.service }
@@ -93,11 +100,25 @@ type Service struct {
 	// Dropped is the simulated drop time; zero while the service lives.
 	Dropped time.Time
 	// Downtime accumulates customer-visible unavailability from
-	// failovers, feeding the SLA penalty in the revenue model (§5.1).
+	// unplanned failovers and resource-wait degradation, feeding the SLA
+	// penalty in the revenue model (§5.1). Planned movements (balancing,
+	// maintenance drains) accrue into PlannedDowntime instead — real SLAs
+	// exclude scheduled maintenance windows from the credit calculation.
 	Downtime time.Duration
-	// FailoverCount is the number of replica movements the service
-	// suffered after initial placement.
+	// PlannedDowntime accumulates unavailability caused by planned
+	// movements: balancing moves and maintenance drains. It is reported
+	// but never priced by the SLA model.
+	PlannedDowntime time.Duration
+	// FailoverCount is the total number of replica movements the service
+	// suffered after initial placement, planned and unplanned alike. It
+	// is always UnplannedFailovers + PlannedMoves.
 	FailoverCount int
+	// UnplannedFailovers counts movements forced on the service: capacity
+	// violations, resizes, crash evacuations, administrative ForceMove.
+	UnplannedFailovers int
+	// PlannedMoves counts movements the orchestrator chose to make:
+	// balancing moves and maintenance drains.
+	PlannedMoves int
 	// FailedOverCores accumulates the core reservation moved across all
 	// of this service's failovers (the paper's Fig. 2 x-axis and Fig. 12b
 	// quantity counts capacity moved, so each moved replica contributes
@@ -149,6 +170,9 @@ func (s *Service) TotalReservedCores() float64 {
 	return s.ReservedCoresPerReplica * float64(s.ReplicaCount)
 }
 
+// TotalDowntime returns planned plus unplanned unavailability.
+func (s *Service) TotalDowntime() time.Duration { return s.Downtime + s.PlannedDowntime }
+
 // Alive reports whether the service has not been dropped.
 func (s *Service) Alive() bool { return s.Dropped.IsZero() }
 
@@ -183,8 +207,24 @@ type Node struct {
 	idx int
 
 	replicas map[ReplicaID]*Replica
-	// down marks the node as drained for maintenance (see maintenance.go).
+	// down marks the node as drained for maintenance or crashed (see
+	// maintenance.go and faults.go).
 	down bool
+	// crashed distinguishes an abrupt failure from a planned drain while
+	// the node is down; cleared on restart.
+	crashed bool
+	// lastCrash is the last simulated time the node crashed (zero if it
+	// never has). Used to recognize flapping nodes.
+	lastCrash time.Time
+	// quarantinedUntil excludes a recently-flapped node from placement
+	// and failover targets until the given instant. Only the degraded-mode
+	// restart path ever sets it, so the zero value keeps the no-chaos
+	// decision stream untouched.
+	quarantinedUntil time.Time
+	// lastReport is the last simulated time any replica on this node
+	// reported a load. The degraded-mode PLB stops trusting a node's
+	// last-known-good loads once this is older than the staleness timeout.
+	lastReport time.Time
 	// totals caches the aggregate load per metric, maintained on
 	// attach/detach/report. Summing the replica map on demand would make
 	// the floating-point result depend on map iteration order, breaking

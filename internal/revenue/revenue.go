@@ -67,8 +67,17 @@ type Usage struct {
 	// (storage is billed on stored bytes, not on replicas — replication
 	// cost is folded into the BC storage price).
 	AvgDiskGB float64
-	// Downtime is accumulated customer-visible unavailability.
+	// Downtime is accumulated customer-visible unavailability from
+	// unplanned events (failovers, crash evacuations, resource waits).
+	// Only this downtime is priced by the SLA: planned maintenance is
+	// excluded from the credit calculation, as in the cited Azure SLA.
 	Downtime time.Duration
+	// PlannedDowntime is unavailability from planned movements
+	// (balancing, maintenance drains). Reported for context, never
+	// penalized.
+	PlannedDowntime time.Duration
+	// UnplannedFailovers counts the forced movements behind Downtime.
+	UnplannedFailovers int
 }
 
 // Revenue is the scored outcome for one database.
@@ -80,6 +89,9 @@ type Revenue struct {
 	Uptime   float64
 	Penalty  float64
 	Adjusted float64
+	// UnplannedFailovers is carried through from Usage so penalty rows
+	// can be attributed to the movements that caused them.
+	UnplannedFailovers int
 }
 
 // hoursPerMonth converts the $/GB-month storage price to an hourly rate
@@ -94,6 +106,9 @@ func Score(u Usage, sla SLA) (Revenue, error) {
 	if u.Downtime < 0 || u.Downtime > u.Lifetime {
 		return Revenue{}, fmt.Errorf("revenue: downtime %v outside [0, lifetime] for %s", u.Downtime, u.DB)
 	}
+	if u.PlannedDowntime < 0 {
+		return Revenue{}, fmt.Errorf("revenue: negative planned downtime for %s", u.DB)
+	}
 	hours := u.Lifetime.Hours()
 	compute := u.SLO.PricePerCoreHour * float64(u.SLO.Cores) * hours
 	storage := u.SLO.StoragePricePerGBMonth / hoursPerMonth * u.AvgDiskGB * hours
@@ -105,13 +120,14 @@ func Score(u Usage, sla SLA) (Revenue, error) {
 	}
 	penalty := gross * sla.CreditFraction(uptime)
 	return Revenue{
-		DB:       u.DB,
-		Compute:  compute,
-		Storage:  storage,
-		Gross:    gross,
-		Uptime:   uptime,
-		Penalty:  penalty,
-		Adjusted: gross - penalty,
+		DB:                 u.DB,
+		Compute:            compute,
+		Storage:            storage,
+		Gross:              gross,
+		Uptime:             uptime,
+		Penalty:            penalty,
+		Adjusted:           gross - penalty,
+		UnplannedFailovers: u.UnplannedFailovers,
 	}, nil
 }
 
