@@ -24,6 +24,7 @@ import (
 	"toto/internal/bench"
 	"toto/internal/core"
 	"toto/internal/obs"
+	"toto/internal/obs/journal"
 	"toto/internal/slo"
 )
 
@@ -40,6 +41,20 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "totobench:", err)
 		os.Exit(1)
+	}
+	// totobench drives many clusters per invocation, so a per-event
+	// journal is ill-defined here; -journal-out records the run's metadata
+	// and final metrics snapshot (totosim journals single runs in full).
+	var jw *journal.Writer
+	if obsFlags.JournalOut != "" {
+		jw, err = journal.Create(obsFlags.JournalOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "totobench:", err)
+			os.Exit(1)
+		}
+		jw.Meta("totobench", core.ScenarioEpoch, map[string]string{
+			"tool": "totobench", "run": *runFlag, "days": fmt.Sprintf("%d", *days),
+		})
 	}
 
 	want := map[string]bool{}
@@ -59,6 +74,7 @@ func main() {
 	fail := func(err error) {
 		// Flush whatever trace/metrics/profile data exists before dying,
 		// so a failed run is still diagnosable.
+		_ = jw.Close()
 		_ = sess.Close()
 		fmt.Fprintln(os.Stderr, "totobench:", err)
 		os.Exit(1)
@@ -194,6 +210,15 @@ func main() {
 		fmt.Fprintln(out)
 	}
 
+	if jw != nil {
+		if sess.Obs != nil {
+			jw.Snapshot(sess.Obs.Registry().Snapshot(), core.ScenarioEpoch)
+		}
+		if err := jw.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "totobench:", err)
+			os.Exit(1)
+		}
+	}
 	if err := sess.Close(); err != nil {
 		fmt.Fprintln(os.Stderr, "totobench:", err)
 		os.Exit(1)

@@ -1,0 +1,481 @@
+// Command totoscope analyzes the causal event journals written by
+// totosim's -journal-out: it reconstructs why every replica moved,
+// renders the run's shape in the terminal, and exports final metrics.
+//
+// Usage:
+//
+//	totoscope summary run.jsonl.gz          # counts, time range, stream hash
+//	totoscope report run.jsonl.gz           # heatmaps, timelines, root causes, SLA attribution
+//	totoscope chain run.jsonl.gz 1234       # one event's causal chain, root first
+//	totoscope diff a.jsonl.gz b.jsonl.gz    # compare two runs
+//	totoscope prom run.jsonl.gz             # final metrics, Prometheus text format
+//
+// report reads the .series.json sidecar next to the journal (override
+// with -series) for the utilization heatmaps; everything else needs only
+// the journal.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"toto/internal/asciichart"
+	"toto/internal/obs"
+	"toto/internal/obs/journal"
+	"toto/internal/obs/timeseries"
+	"toto/internal/revenue"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "summary":
+		err = runSummary(args)
+	case "report":
+		err = runReport(args)
+	case "chain":
+		err = runChain(args)
+	case "diff":
+		err = runDiff(args)
+	case "prom":
+		err = runProm(args)
+	case "-h", "-help", "--help", "help":
+		usage()
+		return
+	default:
+		usage()
+		err = fmt.Errorf("unknown command %q", cmd)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "totoscope:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `totoscope — causal journal analysis
+
+  totoscope summary <journal>           counts, time range, event-stream hash
+  totoscope report  [-width n] [-series f] <journal>
+                                        heatmaps, timelines, root-cause and
+                                        SLA-penalty attribution
+  totoscope chain   <journal> <seq>     one entry's causal chain, root first
+  totoscope diff    <a> <b>             compare two journals
+  totoscope prom    <journal>           final metrics, Prometheus text format
+`)
+}
+
+// load opens a journal and requires it to be non-empty.
+func load(path string) ([]journal.Entry, error) {
+	entries, err := journal.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("%s: empty journal", path)
+	}
+	return entries, nil
+}
+
+// stats is everything the summary/diff views aggregate in one pass.
+type stats struct {
+	meta          journal.Entry
+	hasMeta       bool
+	events        int
+	annotations   int
+	byKind        map[string]int
+	first, last   time.Time
+	unplannedNs   int64
+	plannedNs     int64
+	attribution   journal.Attribution
+	finalSnapshot *obs.Snapshot
+}
+
+func gather(entries []journal.Entry) stats {
+	st := stats{byKind: make(map[string]int)}
+	st.meta, st.hasMeta = journal.Meta(entries)
+	for i := range entries {
+		e := &entries[i]
+		switch e.Type {
+		case journal.TypeEvent:
+			st.events++
+			st.byKind[e.Kind]++
+			t := e.Time()
+			if st.first.IsZero() || t.Before(st.first) {
+				st.first = t
+			}
+			if t.After(st.last) {
+				st.last = t
+			}
+			if e.Kind == "failover" {
+				st.unplannedNs += e.DowntimeNs
+			} else if e.Kind == "balance-move" {
+				st.plannedNs += e.DowntimeNs
+			}
+		case journal.TypeAnnotation:
+			st.annotations++
+		case journal.TypeMetrics:
+			if e.Metrics != nil {
+				st.finalSnapshot = e.Metrics
+			}
+		}
+	}
+	st.attribution = journal.Attribute(entries)
+	return st
+}
+
+func runSummary(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("summary wants exactly one journal path")
+	}
+	entries, err := load(args[0])
+	if err != nil {
+		return err
+	}
+	st := gather(entries)
+	printSummary(os.Stdout, args[0], st)
+	return nil
+}
+
+func printSummary(w *os.File, path string, st stats) {
+	name := "?"
+	if st.hasMeta {
+		name = st.meta.Name
+	}
+	fmt.Fprintf(w, "journal %s: run %q\n", path, name)
+	if st.hasMeta && len(st.meta.Attrs) > 0 {
+		keys := make([]string, 0, len(st.meta.Attrs))
+		for k := range st.meta.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		parts := make([]string, len(keys))
+		for i, k := range keys {
+			parts[i] = k + "=" + st.meta.Attrs[k]
+		}
+		fmt.Fprintf(w, "  attrs: %s\n", strings.Join(parts, " "))
+	}
+	fmt.Fprintf(w, "  %d events, %d annotations", st.events, st.annotations)
+	if !st.first.IsZero() {
+		fmt.Fprintf(w, ", %s .. %s (%s)",
+			st.first.Format(time.RFC3339), st.last.Format(time.RFC3339),
+			st.last.Sub(st.first).Round(time.Minute))
+	}
+	fmt.Fprintln(w)
+	kinds := make([]string, 0, len(st.byKind))
+	for k := range st.byKind {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		fmt.Fprintf(w, "    %-16s %d\n", k, st.byKind[k])
+	}
+	fmt.Fprintf(w, "  moves: %d unplanned failovers (downtime %s), %d planned (downtime %s, never penalized)\n",
+		st.attribution.Unplanned, time.Duration(st.unplannedNs).Round(time.Second),
+		st.attribution.Planned, time.Duration(st.plannedNs).Round(time.Second))
+}
+
+func runReport(args []string) error {
+	fs := flag.NewFlagSet("report", flag.ContinueOnError)
+	width := fs.Int("width", 72, "chart width in cells")
+	seriesPath := fs.String("series", "", "series sidecar path (default derived from the journal path)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("report wants exactly one journal path")
+	}
+	path := fs.Arg(0)
+	entries, err := load(path)
+	if err != nil {
+		return err
+	}
+	st := gather(entries)
+	w := os.Stdout
+	printSummary(w, path, st)
+
+	// Utilization heatmaps from the series sidecar, one per enforced
+	// metric, rows = nodes, '!' cells = capacity violations in that
+	// bucket.
+	sidecar := *seriesPath
+	if sidecar == "" {
+		sidecar = timeseries.PathFor(path)
+	}
+	if store, serr := timeseries.ReadFile(sidecar); serr == nil {
+		printHeatmaps(w, store, *width)
+	} else {
+		fmt.Fprintf(w, "\n(no series sidecar at %s — heatmaps skipped)\n", sidecar)
+	}
+
+	printTimelines(w, entries, st, *width)
+	printRootCauses(w, st)
+	printPenalty(w, st)
+	return nil
+}
+
+// printHeatmaps renders one per-node heatmap per enforced metric found
+// in the store, plus the cluster-rate sparklines.
+func printHeatmaps(w *os.File, store *timeseries.Store, width int) {
+	byMetric := map[string][]string{} // metric -> node series names
+	for _, name := range store.Names() {
+		if !strings.HasPrefix(name, "util.") {
+			continue
+		}
+		rest := strings.TrimPrefix(name, "util.")
+		metric, _, ok := strings.Cut(rest, "/")
+		if !ok {
+			continue
+		}
+		byMetric[metric] = append(byMetric[metric], name)
+	}
+	metrics := make([]string, 0, len(byMetric))
+	for m := range byMetric {
+		metrics = append(metrics, m)
+	}
+	sort.Strings(metrics)
+	for _, m := range metrics {
+		names := byMetric[m]
+		sort.Strings(names)
+		labels := make([]string, len(names))
+		rows := make([][]float64, len(names))
+		for i, name := range names {
+			labels[i] = strings.TrimPrefix(name, "util."+m+"/")
+			rows[i] = store.Series(name).Values()
+		}
+		fmt.Fprintf(w, "\n%s utilization by node (resolution %s):\n", m, store.Resolution())
+		fmt.Fprint(w, asciichart.Heatmap(labels, rows, width, 1.0))
+	}
+	for _, name := range []string{timeseries.SeriesFailovers, timeseries.SeriesPlannedMoves, timeseries.SeriesServices} {
+		s := store.Series(name)
+		if s.Len() == 0 {
+			continue
+		}
+		sum := s.Summary()
+		fmt.Fprintf(w, "%-26s %s  (max %.3g, mean %.3g)\n",
+			name, asciichart.SparklineN(s.Values(), width), sum.Max, sum.Mean)
+	}
+}
+
+// printTimelines renders per-kind event timelines: events bucketed over
+// the journal's time range, one sparkline per kind.
+func printTimelines(w *os.File, entries []journal.Entry, st stats, width int) {
+	if st.first.IsZero() || !st.last.After(st.first) {
+		return
+	}
+	span := st.last.Sub(st.first)
+	kinds := make([]string, 0, len(st.byKind))
+	for k := range st.byKind {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	fmt.Fprintf(w, "\nevent timelines (%s per cell):\n", (span / time.Duration(width)).Round(time.Second))
+	for _, kind := range kinds {
+		buckets := make([]float64, width)
+		for i := range entries {
+			e := &entries[i]
+			if e.Type != journal.TypeEvent || e.Kind != kind {
+				continue
+			}
+			b := int(float64(e.Time().Sub(st.first)) / float64(span) * float64(width-1))
+			buckets[b]++
+		}
+		fmt.Fprintf(w, "  %-16s %s\n", kind, asciichart.Sparkline(buckets))
+	}
+}
+
+// printRootCauses renders the failover root-cause breakdown table.
+func printRootCauses(w *os.File, st stats) {
+	a := st.attribution
+	fmt.Fprintf(w, "\nroot-cause breakdown (%d unplanned failovers, %d planned moves):\n", a.Unplanned, a.Planned)
+	fmt.Fprintf(w, "  %-10s %9s %9s %12s %12s\n", "cause", "moves", "unplanned", "downtime", "data moved")
+	for _, cause := range a.Causes() {
+		s := a.ByCause[cause]
+		fmt.Fprintf(w, "  %-10s %9d %9d %12s %9.0f GB\n",
+			cause, s.Moves, s.Unplanned,
+			time.Duration(s.DowntimeNs).Round(time.Second), s.MovedDiskGB)
+	}
+	if a.Unknown > 0 {
+		fmt.Fprintf(w, "  WARNING: %d unplanned failovers with unknown root cause\n", a.Unknown)
+	}
+}
+
+// printPenalty renders the SLA-penalty attribution: each cause chain's
+// share of the penalizable downtime, priced against the run's total
+// penalty when the journal embeds the final revenue gauges.
+func printPenalty(w *os.File, st stats) {
+	a := st.attribution
+	downtime := make(map[string]int64, len(a.ByCause))
+	for cause, s := range a.ByCause {
+		// Only unplanned downtime is SLA-priced; planned causes with zero
+		// unplanned moves carry no penalizable share.
+		if s.Unplanned > 0 {
+			downtime[cause] = s.DowntimeNs
+		}
+	}
+	totalPenalty := 0.0
+	priced := false
+	if st.finalSnapshot != nil {
+		if v, ok := st.finalSnapshot.Gauges["revenue.penalty_usd"]; ok {
+			totalPenalty, priced = v, true
+		}
+	}
+	fmt.Fprintf(w, "\nSLA-penalty attribution (unplanned downtime share by cause chain):\n")
+	if len(downtime) == 0 {
+		fmt.Fprintf(w, "  no penalizable downtime recorded\n")
+		return
+	}
+	var totalNs int64
+	for _, ns := range downtime {
+		totalNs += ns
+	}
+	shares := revenue.AttributePenalty(totalPenalty, downtime)
+	causes := make([]string, 0, len(downtime))
+	for c := range downtime {
+		causes = append(causes, c)
+	}
+	sort.Slice(causes, func(i, j int) bool { return downtime[causes[i]] > downtime[causes[j]] })
+	for _, cause := range causes {
+		share := float64(downtime[cause]) / float64(totalNs)
+		fmt.Fprintf(w, "  %-10s %6.1f%%  %12s", cause, 100*share,
+			time.Duration(downtime[cause]).Round(time.Second))
+		if priced {
+			fmt.Fprintf(w, "  $%.2f", shares[cause])
+		}
+		fmt.Fprintln(w)
+	}
+	if priced {
+		fmt.Fprintf(w, "  total SLA penalty: $%.2f\n", totalPenalty)
+	} else {
+		fmt.Fprintf(w, "  (journal has no final revenue snapshot; shares only)\n")
+	}
+}
+
+func runChain(args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("chain wants a journal path and a sequence number")
+	}
+	entries, err := load(args[0])
+	if err != nil {
+		return err
+	}
+	seq, err := strconv.ParseUint(args[1], 10, 64)
+	if err != nil {
+		return fmt.Errorf("bad sequence number %q", args[1])
+	}
+	idx := journal.Index(entries)
+	chain := journal.Chain(idx, seq)
+	if len(chain) == 0 {
+		return fmt.Errorf("no entry with seq %d", seq)
+	}
+	for depth, e := range chain {
+		subject := e.Node
+		if e.Service != "" {
+			subject = e.Service
+		}
+		if e.ReplicaSvc != "" {
+			subject = fmt.Sprintf("%s/%d", e.ReplicaSvc, e.ReplicaIdx)
+		}
+		detail := ""
+		if e.From != "" || e.To != "" {
+			detail = fmt.Sprintf(" %s->%s", e.From, e.To)
+		}
+		if e.Detail != "" {
+			detail += " " + e.Detail
+		}
+		fmt.Printf("%s#%d %s %s %s%s\n",
+			strings.Repeat("  ", depth), e.Seq, e.Time().Format("2006-01-02T15:04:05"),
+			e.Kind, subject, detail)
+	}
+	fmt.Printf("root cause: %s\n", journal.RootCause(idx, chain[len(chain)-1]))
+	return nil
+}
+
+func runDiff(args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("diff wants exactly two journal paths")
+	}
+	ea, err := load(args[0])
+	if err != nil {
+		return err
+	}
+	eb, err := load(args[1])
+	if err != nil {
+		return err
+	}
+	sa, sb := gather(ea), gather(eb)
+	ha, _ := journal.EventStreamHash(ea)
+	hb, _ := journal.EventStreamHash(eb)
+	w := os.Stdout
+	if ha == hb {
+		fmt.Fprintf(w, "event streams IDENTICAL (hash %s, %d events)\n", ha[:16], sa.events)
+		return nil
+	}
+	fmt.Fprintf(w, "event streams differ: %s (%d events) vs %s (%d events)\n",
+		ha[:16], sa.events, hb[:16], sb.events)
+
+	fmt.Fprintf(w, "\n%-16s %10s %10s %10s\n", "event kind", "a", "b", "delta")
+	kinds := map[string]bool{}
+	for k := range sa.byKind {
+		kinds[k] = true
+	}
+	for k := range sb.byKind {
+		kinds[k] = true
+	}
+	sorted := make([]string, 0, len(kinds))
+	for k := range kinds {
+		sorted = append(sorted, k)
+	}
+	sort.Strings(sorted)
+	for _, k := range sorted {
+		fmt.Fprintf(w, "%-16s %10d %10d %+10d\n", k, sa.byKind[k], sb.byKind[k], sb.byKind[k]-sa.byKind[k])
+	}
+
+	fmt.Fprintf(w, "\n%-10s %10s %10s %14s %14s\n", "cause", "moves a", "moves b", "downtime a", "downtime b")
+	causes := map[string]bool{}
+	for c := range sa.attribution.ByCause {
+		causes[c] = true
+	}
+	for c := range sb.attribution.ByCause {
+		causes[c] = true
+	}
+	sorted = sorted[:0]
+	for c := range causes {
+		sorted = append(sorted, c)
+	}
+	sort.Strings(sorted)
+	for _, c := range sorted {
+		ca, cb := sa.attribution.ByCause[c], sb.attribution.ByCause[c]
+		fmt.Fprintf(w, "%-10s %10d %10d %14s %14s\n", c, ca.Moves, cb.Moves,
+			time.Duration(ca.DowntimeNs).Round(time.Second),
+			time.Duration(cb.DowntimeNs).Round(time.Second))
+	}
+	fmt.Fprintf(w, "\nunplanned downtime: %s vs %s\n",
+		time.Duration(sa.unplannedNs).Round(time.Second),
+		time.Duration(sb.unplannedNs).Round(time.Second))
+	return nil
+}
+
+func runProm(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("prom wants exactly one journal path")
+	}
+	entries, err := load(args[0])
+	if err != nil {
+		return err
+	}
+	m, ok := journal.FinalMetrics(entries)
+	if !ok {
+		return fmt.Errorf("%s: no final metrics snapshot in journal", args[0])
+	}
+	return obs.WritePrometheus(os.Stdout, *m.Metrics)
+}

@@ -32,13 +32,19 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof" // -http serves the default mux's pprof handlers
 	"os"
+	"os/signal"
 	"path/filepath"
+	"time"
 
 	"toto/internal/chaos"
 	"toto/internal/core"
 	"toto/internal/models"
 	"toto/internal/obs"
+	"toto/internal/obs/journal"
+	"toto/internal/obs/timeseries"
 	"toto/internal/slo"
 	"toto/internal/telemetry"
 )
@@ -50,6 +56,7 @@ func main() {
 	outDir := flag.String("out", "", "write telemetry CSVs to this directory")
 	chaosPath := flag.String("chaos", "", "JSON chaos spec file injected over the measured window")
 	chaosSeed := flag.Uint64("chaos-seed", 0, "override the chaos spec's seed (nonzero)")
+	httpAddr := flag.String("http", "", "serve a live debug endpoint on this address (pprof, /metrics, /journal/tail)")
 	obsFlags := obs.BindFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -58,11 +65,35 @@ func main() {
 		fmt.Fprintln(os.Stderr, "totosim:", err)
 		os.Exit(1)
 	}
+	var jw *journal.Writer
+	if obsFlags.JournalOut != "" {
+		jw, err = journal.Create(obsFlags.JournalOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "totosim:", err)
+			os.Exit(1)
+		}
+	}
 	fail := func(err error) {
+		_ = jw.Close()   // journal is valid up to the failure point
 		_ = sess.Close() // flush partial observability artifacts
 		fmt.Fprintln(os.Stderr, "totosim:", err)
 		os.Exit(1)
 	}
+
+	// An interrupted run must leave readable artifacts: flush and close
+	// the journal and the trace/metrics session before dying. The journal
+	// writer is mutex-guarded, so closing it from the signal goroutine
+	// while the simulation appends is safe — appends after Close are
+	// dropped, everything before is flushed.
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt)
+	go func() {
+		<-sigCh
+		fmt.Fprintln(os.Stderr, "totosim: interrupted; flushing artifacts")
+		_ = jw.Close()
+		_ = sess.Close()
+		os.Exit(130)
+	}()
 
 	spec := &core.ScenarioFile{}
 	if *scenarioPath != "" {
@@ -127,9 +158,49 @@ func main() {
 
 	sc := spec.Build(set)
 	sc.Obs = sess.Obs
+	var series *timeseries.Store
+	if jw != nil {
+		jw.Meta(sc.Name, sc.Start, map[string]string{
+			"tool":    "totosim",
+			"density": fmt.Sprintf("%g", sc.Density),
+			"nodes":   fmt.Sprintf("%d", sc.Nodes),
+			"days":    fmt.Sprintf("%g", sc.Duration.Hours()/24),
+		})
+		sc.Journal = jw
+		resolution := sc.NodeTelemetryInterval
+		if resolution <= 0 {
+			resolution = 10 * time.Minute
+		}
+		// Capacity covers the whole run at the sampling resolution (plus
+		// bootstrap), so nothing ages out of the rings mid-run.
+		capacity := int((sc.BootstrapDuration+sc.Duration)/resolution) + 2
+		series = timeseries.NewStore(resolution, capacity)
+		sc.SeriesStore = series
+	}
+	if *httpAddr != "" {
+		if jw != nil {
+			jw.EnableTail()
+		}
+		serveDebug(*httpAddr, sess, jw)
+	}
 	res, err := core.Run(sc)
 	if err != nil {
 		fail(err)
+	}
+	if jw != nil {
+		end := sc.Start.Add(sc.BootstrapDuration + sc.Duration)
+		if sess.Obs != nil {
+			jw.Snapshot(sess.Obs.Registry().Snapshot(), end)
+		}
+		if err := jw.Close(); err != nil {
+			fail(err)
+		}
+		if err := series.WriteFile(timeseries.PathFor(obsFlags.JournalOut)); err != nil {
+			fail(err)
+		}
+		events, annotations := jw.Counts()
+		fmt.Printf("journal: %d events, %d annotations -> %s (+ %s)\n",
+			events, annotations, obsFlags.JournalOut, timeseries.PathFor(obsFlags.JournalOut))
 	}
 	if err := sess.Close(); err != nil {
 		fail(err)
@@ -181,4 +252,41 @@ func main() {
 	write("failovers.csv", func(f *os.File) error { return telemetry.WriteFailoversCSV(f, res.Failovers) })
 	write("nodes.csv", func(f *os.File) error { return telemetry.WriteNodeSamplesCSV(f, res.NodeSamples) })
 	fmt.Printf("telemetry written to %s\n", *outDir)
+}
+
+// serveDebug starts the live debug endpoint: the default mux already
+// carries net/http/pprof's handlers; /metrics exposes a Prometheus-text
+// snapshot of the metrics registry and /journal/tail the most recent
+// journal entries (both read concurrently with the running simulation —
+// the registry and the journal writer are mutex-guarded).
+func serveDebug(addr string, sess *obs.Session, jw *journal.Writer) {
+	http.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if sess.Obs == nil {
+			http.Error(w, "metrics registry not enabled", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = obs.WritePrometheus(w, sess.Obs.Registry().Snapshot())
+	})
+	http.HandleFunc("/journal/tail", func(w http.ResponseWriter, r *http.Request) {
+		if jw == nil {
+			http.Error(w, "journal not enabled (-journal-out)", http.StatusNotFound)
+			return
+		}
+		n := 64
+		if q := r.URL.Query().Get("n"); q != "" {
+			fmt.Sscanf(q, "%d", &n)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		for _, e := range jw.Tail(n) {
+			_ = enc.Encode(e)
+		}
+	})
+	go func() {
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			fmt.Fprintln(os.Stderr, "totosim: -http:", err)
+		}
+	}()
+	fmt.Fprintf(os.Stderr, "totosim: debug endpoint on http://%s (pprof at /debug/pprof, /metrics, /journal/tail)\n", addr)
 }

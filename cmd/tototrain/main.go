@@ -18,6 +18,7 @@ import (
 	"toto/internal/bench"
 	"toto/internal/core"
 	"toto/internal/obs"
+	"toto/internal/obs/journal"
 	"toto/internal/slo"
 	"toto/internal/trace"
 	"toto/internal/trainer"
@@ -35,10 +36,37 @@ func main() {
 		fmt.Fprintln(os.Stderr, "tototrain:", err)
 		os.Exit(1)
 	}
+	// Training has no cluster to journal; -journal-out records the run's
+	// metadata and final metrics snapshot for provenance.
+	var jw *journal.Writer
+	if obsFlags.JournalOut != "" {
+		jw, err = journal.Create(obsFlags.JournalOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tototrain:", err)
+			os.Exit(1)
+		}
+		jw.Meta("tototrain", core.ScenarioEpoch, map[string]string{
+			"tool": "tototrain", "seed": fmt.Sprintf("%d", *seed),
+		})
+	}
 	fail := func(err error) {
+		_ = jw.Close()
 		_ = sess.Close()
 		fmt.Fprintln(os.Stderr, "tototrain:", err)
 		os.Exit(1)
+	}
+	finish := func() {
+		if jw != nil {
+			if sess.Obs != nil {
+				jw.Snapshot(sess.Obs.Registry().Snapshot(), core.ScenarioEpoch)
+			}
+			if err := jw.Close(); err != nil {
+				fail(err)
+			}
+		}
+		if err := sess.Close(); err != nil {
+			fail(err)
+		}
 	}
 
 	sp := sess.Obs.Span("train.models", obs.I64("seed", int64(*seed)))
@@ -56,18 +84,14 @@ func main() {
 	if *outPath == "" {
 		os.Stdout.Write(data)
 		fmt.Println()
-		if err := sess.Close(); err != nil {
-			fail(err)
-		}
+		finish()
 		return
 	}
 	if err := os.WriteFile(*outPath, data, 0o644); err != nil {
 		fail(err)
 	}
 	fmt.Fprintf(os.Stderr, "tototrain: wrote %d bytes of model XML to %s\n", len(data), *outPath)
-	if err := sess.Close(); err != nil {
-		fail(err)
-	}
+	finish()
 }
 
 // report prints the training diagnostics the paper's §4 walks through.

@@ -69,6 +69,91 @@ func SparklineN(xs []float64, n int) string {
 	return Sparkline(out)
 }
 
+// shades are the five density glyphs a heatmap cell quantizes into,
+// lightest to darkest.
+var shades = []rune(" ░▒▓█")
+
+// Heatmap renders one labeled row per series, each cell the mean of a
+// time bucket shaded by value, with a shared scale computed over every
+// row (so rows are comparable — one hot node stands out against its
+// neighbors). Cells holding values above hot are marked '!': on a
+// utilization heatmap with hot=1, capacity violations are immediately
+// visible. Labels are right-padded to align the grid. Empty input
+// renders empty.
+func Heatmap(labels []string, rows [][]float64, width int, hot float64) string {
+	if len(rows) == 0 || width < 1 {
+		return ""
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, row := range rows {
+		for _, v := range row {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	}
+	if math.IsInf(lo, 1) {
+		return ""
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	labelW := 0
+	for _, l := range labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	var b strings.Builder
+	for i, row := range rows {
+		label := ""
+		if i < len(labels) {
+			label = labels[i]
+		}
+		fmt.Fprintf(&b, "%-*s |", labelW, label)
+		n := width
+		if len(row) < n {
+			n = len(row)
+		}
+		for j := 0; j < n; j++ {
+			// Bucket mean over the row's samples mapped into cell j; a row
+			// shorter than the width renders one sample per cell.
+			blo, bhi := j, j+1
+			if len(row) > width {
+				blo = j * len(row) / width
+				bhi = (j + 1) * len(row) / width
+				if bhi <= blo {
+					bhi = blo + 1
+				}
+			}
+			sum, peak := 0.0, math.Inf(-1)
+			for _, v := range row[blo:bhi] {
+				sum += v
+				peak = math.Max(peak, v)
+			}
+			mean := sum / float64(bhi-blo)
+			if hot > 0 && peak > hot {
+				b.WriteByte('!')
+				continue
+			}
+			idx := int((mean - lo) / (hi - lo) * float64(len(shades)-1))
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(shades) {
+				idx = len(shades) - 1
+			}
+			b.WriteRune(shades[idx])
+		}
+		b.WriteString("|\n")
+	}
+	fmt.Fprintf(&b, "%-*s  scale %.3g..%.3g", labelW, "", lo, hi)
+	if hot > 0 {
+		fmt.Fprintf(&b, ", ! = cell peak > %g", hot)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
 // Point is one (x, y) observation with a single-rune label.
 type Point struct {
 	X, Y  float64

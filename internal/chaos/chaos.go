@@ -354,6 +354,30 @@ func (e *Engine) pickUpNode(now time.Time, named string) *fabric.Node {
 	return up[e.scheduleRnd.Intn(len(up))]
 }
 
+// inject records a chaos-injection annotation in the cluster's causal
+// journal and establishes it as the ambient cause, so every event the
+// fault produces (crash, evacuation failovers, restart) chains back to
+// the injection. The returned restore function must be called when the
+// injected operation completes.
+func (e *Engine) inject(kind, node string) (seq uint64, restore func()) {
+	seq = e.cluster.Annotate(fabric.Annotation{
+		Kind:   "chaos-injection",
+		Node:   node,
+		Detail: kind,
+	})
+	prev := e.cluster.BeginCause(fabric.CauseChaos, seq)
+	return seq, func() { e.cluster.EndCause(prev) }
+}
+
+// restartAs brackets a scheduled restart with the injection that caused
+// the outage, so recovery events chain to the same root.
+func (e *Engine) restartAs(seq uint64, id string) bool {
+	prev := e.cluster.BeginCause(fabric.CauseChaos, seq)
+	ok := e.cluster.RestartNode(id) == nil
+	e.cluster.EndCause(prev)
+	return ok
+}
+
 // crashOne crashes one node and schedules its restart. The crash is
 // skipped (counted, logged) when it would leave fewer than two up nodes
 // — a schedule that kills the whole cluster measures nothing.
@@ -364,7 +388,10 @@ func (e *Engine) crashOne(now time.Time, named string, down time.Duration) strin
 		e.o.Instant("chaos.crash_skipped", obs.Str("node", named))
 		return ""
 	}
-	if _, _, err := e.cluster.CrashNode(n.ID); err != nil {
+	seq, restore := e.inject(KindNodeCrash, n.ID)
+	_, _, err := e.cluster.CrashNode(n.ID)
+	restore()
+	if err != nil {
 		e.stats.CrashesSkipped++
 		return ""
 	}
@@ -373,7 +400,7 @@ func (e *Engine) crashOne(now time.Time, named string, down time.Duration) strin
 	if down > 0 {
 		id := n.ID
 		e.clock.At(now.Add(down), func(time.Time) {
-			if e.cluster.RestartNode(id) == nil {
+			if e.restartAs(seq, id) {
 				e.stats.Restarts++
 			}
 		})
@@ -400,14 +427,17 @@ func (e *Engine) flap(now time.Time, named string, count int, down, up time.Dura
 			e.stats.CrashesSkipped++
 			return
 		}
-		if _, _, err := e.cluster.CrashNode(id); err != nil {
+		seq, restore := e.inject(KindNodeFlap, id)
+		_, _, err := e.cluster.CrashNode(id)
+		restore()
+		if err != nil {
 			e.stats.CrashesSkipped++
 			return
 		}
 		e.stats.Crashes++
 		e.o.Instant("chaos.node_flap", obs.Str("node", id), obs.Int("remaining", remaining-1))
 		e.clock.At(now.Add(down), func(restartAt time.Time) {
-			if e.cluster.RestartNode(id) == nil {
+			if e.restartAs(seq, id) {
 				e.stats.Restarts++
 			}
 			if remaining > 1 {
@@ -426,6 +456,9 @@ func (e *Engine) flap(now time.Time, named string, count int, down, up time.Dura
 // the cluster below two up nodes.
 func (e *Engine) domainOutage(now time.Time, domain, domains int, down time.Duration) {
 	e.stats.DomainOutages++
+	// One injection annotation covers the whole domain: every node crash
+	// in the outage (and every restart) chains to the same root.
+	seq, restore := e.inject(KindDomainOutage, fmt.Sprintf("domain-%d/%d", domain, domains))
 	var crashed []string
 	for i, n := range e.cluster.Nodes() {
 		if i%domains != domain || !n.Up() {
@@ -440,6 +473,7 @@ func (e *Engine) domainOutage(now time.Time, domain, domains int, down time.Dura
 			crashed = append(crashed, n.ID)
 		}
 	}
+	restore()
 	e.o.Instant("chaos.domain_outage",
 		obs.Int("domain", domain),
 		obs.Int("nodes", len(crashed)),
@@ -451,7 +485,7 @@ func (e *Engine) domainOutage(now time.Time, domain, domains int, down time.Dura
 	for _, id := range crashed {
 		id := id
 		e.clock.At(now.Add(down), func(time.Time) {
-			if e.cluster.RestartNode(id) == nil {
+			if e.restartAs(seq, id) {
 				e.stats.Restarts++
 			}
 		})

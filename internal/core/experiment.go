@@ -207,6 +207,13 @@ func Run(s *Scenario) (*Result, error) {
 	if err := scoreRevenue(o, res, measureStart); err != nil {
 		return nil, err
 	}
+	// Export the revenue verdict into the metrics registry: journaled runs
+	// embed the final snapshot, which is how totoscope attributes SLA
+	// penalty dollars to causal chains without rescoring.
+	s.Obs.Gauge("revenue.gross_usd").Set(res.Revenue.Gross)
+	s.Obs.Gauge("revenue.penalty_usd").Set(res.Revenue.Penalty)
+	s.Obs.Gauge("revenue.adjusted_usd").Set(res.Revenue.Adjusted)
+	s.Obs.Gauge("revenue.breached_dbs").Set(float64(res.Revenue.Breached))
 
 	creates, drops, fails := o.PopMgr.Stats()
 	res.Creates, res.Drops, res.PopFailures = creates, drops, fails

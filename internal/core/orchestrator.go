@@ -8,6 +8,7 @@ import (
 	"toto/internal/fabric"
 	"toto/internal/models"
 	"toto/internal/obs"
+	"toto/internal/obs/timeseries"
 	"toto/internal/pools"
 	"toto/internal/population"
 	"toto/internal/rgmanager"
@@ -41,8 +42,9 @@ type Orchestrator struct {
 	diskGBSeconds map[string]float64
 	lastReport    time.Time
 
-	tickers []*simclock.Ticker
-	obs     *obs.Obs
+	tickers   []*simclock.Ticker
+	obs       *obs.Obs
+	collector *timeseries.Collector
 }
 
 // NewOrchestrator builds (but does not start) a deployment for scenario.
@@ -72,6 +74,12 @@ func NewOrchestrator(s *Scenario) (*Orchestrator, error) {
 		fabric.MetricMemoryGB: s.NodeSpec.LogicalMemoryGB,
 	}
 	cluster := fabric.NewCluster(clock, s.Nodes, capacity, cfg)
+	if s.Journal != nil {
+		// Attach before anything can emit: the journal must open with the
+		// bootstrap placements, and subscribing the annotation listener is
+		// what switches the fabric's causal-annotation paths on.
+		s.Journal.Attach(cluster)
+	}
 
 	o := &Orchestrator{
 		Scenario:      s,
@@ -214,6 +222,10 @@ func (o *Orchestrator) WriteModels(set *models.ModelSet) error {
 // (the experiment protocol bootstraps first).
 func (o *Orchestrator) Start() {
 	o.Cluster.Start()
+	if o.Scenario.SeriesStore != nil && o.collector == nil {
+		o.collector = timeseries.NewCollector(o.Cluster, o.Scenario.SeriesStore)
+		o.collector.Start(o.Clock)
+	}
 	if o.Scenario.ModelRefreshInterval > 0 {
 		o.tickers = append(o.tickers, o.Clock.Every(o.Scenario.ModelRefreshInterval, func(time.Time) {
 			for _, mgr := range o.managers {
@@ -253,6 +265,13 @@ func (o *Orchestrator) Stop() {
 		t.Stop()
 	}
 	o.tickers = nil
+	if o.collector != nil {
+		// One closing sample so the series end at the stop instant, then
+		// detach from the clock.
+		o.collector.Sample(o.Clock.Now())
+		o.collector.Stop()
+		o.collector = nil
+	}
 	o.Cluster.Stop()
 	o.PopMgr.Stop()
 	o.Recorder.Stop()

@@ -15,6 +15,8 @@ import (
 	"toto/internal/fabric"
 	"toto/internal/models"
 	"toto/internal/obs"
+	"toto/internal/obs/journal"
+	"toto/internal/obs/timeseries"
 	"toto/internal/slo"
 )
 
@@ -112,6 +114,15 @@ type Scenario struct {
 	// population manager, every RgManager, and telemetry. nil (the
 	// default) disables all tracing and metrics at zero cost.
 	Obs *obs.Obs
+	// Journal, when set, records every cluster event and causal
+	// annotation the run produces. The orchestrator attaches it before
+	// the cluster starts so initial placements are captured; nil (the
+	// default) keeps the fabric's annotation paths disabled entirely.
+	Journal *journal.Writer
+	// SeriesStore, when set, is sampled on the simulation clock by a
+	// timeseries collector (per-node utilization and replica counts,
+	// cluster-wide rates) for the journal's .series.json sidecar.
+	SeriesStore *timeseries.Store
 }
 
 // Validate checks scenario consistency.

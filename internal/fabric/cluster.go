@@ -140,6 +140,16 @@ type Cluster struct {
 	listeners []Listener
 	scan      *simclock.Ticker
 
+	// Causality state: one monotonic sequence shared by events and
+	// annotations, plus the ambient cause context the current decision
+	// path established (violation fix, drain, crash, chaos injection).
+	// Annotations are only generated while annListeners is non-empty, so
+	// unjournaled runs pay one integer increment per event and nothing
+	// else.
+	seq          uint64
+	cause        CauseCtx
+	annListeners []AnnotationListener
+
 	// counters for telemetry convenience
 	failoverEvents int
 	balanceMoves   int
@@ -295,10 +305,74 @@ func (c *Cluster) Nodes() []*Node { return c.nodes }
 // Subscribe registers a listener for cluster events.
 func (c *Cluster) Subscribe(l Listener) { c.listeners = append(c.listeners, l) }
 
-func (c *Cluster) emit(ev Event) {
+// SubscribeAnnotations registers a listener for causal annotations (the
+// event journal). Annotations are only generated — and only consume
+// sequence numbers — while at least one annotation listener exists.
+func (c *Cluster) SubscribeAnnotations(l AnnotationListener) {
+	c.annListeners = append(c.annListeners, l)
+}
+
+// CauseCtx is a saved ambient cause context, returned by BeginCause for
+// restoring via EndCause. The zero value is the no-cause context.
+type CauseCtx struct {
+	seq  uint64
+	kind CauseKind
+}
+
+// BeginCause establishes the ambient cause context: every event emitted
+// until the matching EndCause whose cause is not already set is stamped
+// with kind and anchored at seq (the Seq of the causing event or
+// annotation; 0 when no anchor exists). Returns the previous context.
+// The chaos engine brackets its fault injections with this so crash
+// evacuations chain back to the injection that scheduled them.
+func (c *Cluster) BeginCause(kind CauseKind, seq uint64) CauseCtx {
+	prev := c.cause
+	c.cause = CauseCtx{seq: seq, kind: kind}
+	return prev
+}
+
+// EndCause restores the cause context saved by BeginCause.
+func (c *Cluster) EndCause(prev CauseCtx) { c.cause = prev }
+
+// emit assigns the event its sequence number, stamps the ambient cause
+// if the emitter did not set one, and delivers it to every listener. It
+// returns the assigned Seq so follow-on annotations (replica builds) can
+// chain to the event.
+func (c *Cluster) emit(ev Event) uint64 {
+	c.seq++
+	ev.Seq = c.seq
+	if ev.Cause == CauseNone && ev.CauseSeq == 0 {
+		ev.Cause = c.cause.kind
+		ev.CauseSeq = c.cause.seq
+	}
 	for _, l := range c.listeners {
 		l(ev)
 	}
+	return ev.Seq
+}
+
+// Annotate records a causal anchor, assigning it the next sequence
+// number and stamping the ambient cause like emit does for events. It
+// returns the assigned Seq, or 0 when no annotation listener is
+// subscribed (annotations then cost nothing and consume no sequence
+// numbers, keeping unjournaled hot paths untouched).
+func (c *Cluster) Annotate(a Annotation) uint64 {
+	if len(c.annListeners) == 0 {
+		return 0
+	}
+	c.seq++
+	a.Seq = c.seq
+	if a.Cause == CauseNone && a.CauseSeq == 0 {
+		a.Cause = c.cause.kind
+		a.CauseSeq = c.cause.seq
+	}
+	if a.Time.IsZero() {
+		a.Time = c.clock.Now()
+	}
+	for _, l := range c.annListeners {
+		l(a)
+	}
+	return a.Seq
 }
 
 // CoreCapacity returns the cluster-wide logical core capacity scaled by
@@ -461,11 +535,43 @@ func (c *Cluster) ReportLoad(id ReplicaID, m MetricName, value float64) error {
 		return nil
 	}
 	if r.Node != nil {
-		r.Node.applyLoadDelta(m, value-r.Loads[m])
-		r.Node.lastReport = c.clock.Now()
+		n := r.Node
+		// Capacity-crossing detection only runs for the journal: the
+		// listener check keeps the unjournaled report path allocation-free
+		// and branch-cheap.
+		track := len(c.annListeners) > 0 && m.Enforced()
+		wasOver := track && n.Load(m) > c.plb.capacity(n, m)
+		n.applyLoadDelta(m, value-r.Loads[m])
+		n.lastReport = c.clock.Now()
+		if track {
+			c.noteCapacityCrossing(n, m, wasOver)
+		}
 	}
 	r.Loads[m] = value
 	return nil
+}
+
+// noteCapacityCrossing records a "capacity-crossed" annotation when a
+// load report pushes node n over its enforced capacity for metric m —
+// the load-report end of the report → violation → failover causal chain
+// — and clears the anchor when a report brings the node back under.
+func (c *Cluster) noteCapacityCrossing(n *Node, m MetricName, wasOver bool) {
+	limit := c.plb.capacity(n, m)
+	isOver := n.Load(m) > limit
+	if isOver == wasOver {
+		return
+	}
+	if !isOver {
+		n.overSince[m] = 0
+		return
+	}
+	n.overSince[m] = c.Annotate(Annotation{
+		Kind:   "capacity-crossed",
+		Node:   n.ID,
+		Metric: m,
+		Value:  n.Load(m),
+		Limit:  limit,
+	})
 }
 
 func (c *Cluster) replica(id ReplicaID) (*Replica, error) {
@@ -506,7 +612,11 @@ func (c *Cluster) ForceMove(id ReplicaID, targetNode string) error {
 			return fmt.Errorf("fabric: node %s already hosts a replica of %s", targetNode, id.Service)
 		}
 	}
+	prev := c.BeginCause(CauseForced, c.Annotate(Annotation{
+		Kind: "force-move", Replica: id, Node: targetNode,
+	}))
 	c.moveReplica(r, target, MetricDiskGB, EventFailover)
+	c.EndCause(prev)
 	return nil
 }
 
@@ -640,7 +750,7 @@ func (c *Cluster) moveReplicaCause(r *Replica, target *Node, metric MetricName, 
 		)
 	}
 
-	c.emit(Event{
+	evSeq := c.emit(Event{
 		Kind:          kind,
 		Time:          c.clock.Now(),
 		Service:       svc,
@@ -653,4 +763,23 @@ func (c *Cluster) moveReplicaCause(r *Replica, target *Node, metric MetricName, 
 		BuildDuration: build,
 		Downtime:      downtime,
 	})
+	if build > 0 && len(c.annListeners) > 0 {
+		// The data copy the move started, and its completion, as causal
+		// anchors chained off the movement event — the decision → build →
+		// completion tail of the journal's failover chains.
+		bseq := c.Annotate(Annotation{
+			Kind:     "replica-build",
+			CauseSeq: evSeq,
+			Replica:  r.ID,
+			Node:     target.ID,
+			Value:    movedDisk,
+		})
+		c.Annotate(Annotation{
+			Kind:     "build-complete",
+			Time:     now.Add(build),
+			CauseSeq: bseq,
+			Replica:  r.ID,
+			Node:     target.ID,
+		})
+	}
 }

@@ -42,6 +42,65 @@ func (k EventKind) String() string {
 	}
 }
 
+// CauseKind classifies why a cluster event happened — the coarse label
+// on every edge of the causal chain the event journal records. Where the
+// EventKind says *what* changed (a failover, a node going down), the
+// CauseKind says *which decision path* forced it, so post-hoc analysis
+// can attribute every unplanned movement to its root cause.
+type CauseKind uint8
+
+const (
+	// CauseNone marks events with no recorded cause (service lifecycle).
+	CauseNone CauseKind = iota
+	// CauseViolation marks movements forced by a capacity violation.
+	CauseViolation
+	// CauseBalance marks proactive balancing movements.
+	CauseBalance
+	// CauseResize marks movements forced by an SLO scale-up.
+	CauseResize
+	// CauseDrain marks maintenance-drain evacuations.
+	CauseDrain
+	// CauseCrash marks crash evacuations and the crash events themselves.
+	CauseCrash
+	// CauseChaos marks faults injected by a chaos schedule.
+	CauseChaos
+	// CauseForced marks administrative ForceMove relocations.
+	CauseForced
+)
+
+// String returns the cause name.
+func (k CauseKind) String() string {
+	switch k {
+	case CauseViolation:
+		return "violation"
+	case CauseBalance:
+		return "balance"
+	case CauseResize:
+		return "resize"
+	case CauseDrain:
+		return "drain"
+	case CauseCrash:
+		return "crash"
+	case CauseChaos:
+		return "chaos"
+	case CauseForced:
+		return "forced"
+	default:
+		return "none"
+	}
+}
+
+// ParseCause converts a cause's display name back to its kind — the
+// inverse of String, for journal readers.
+func ParseCause(s string) (CauseKind, bool) {
+	for k := CauseNone; k <= CauseForced; k++ {
+		if k.String() == s {
+			return k, true
+		}
+	}
+	return CauseNone, false
+}
+
 // Event describes one cluster state change, delivered to listeners.
 type Event struct {
 	Kind    EventKind
@@ -64,7 +123,52 @@ type Event struct {
 	BuildDuration time.Duration
 	// Downtime is the customer-visible unavailability the move caused.
 	Downtime time.Duration
+	// Seq is the event's position in the cluster's single causal sequence
+	// (events and annotations share one counter). Assigned at emission;
+	// deliberately excluded from the golden event-stream hash so adding
+	// causality never perturbs recorded behaviour.
+	Seq uint64
+	// CauseSeq is the Seq of the event or annotation that caused this one
+	// (0 when no anchor exists — e.g. a violation discovered on first
+	// scan). Chains like load report → violation → failover → build are
+	// walked by following CauseSeq.
+	CauseSeq uint64
+	// Cause labels the decision path that emitted the event.
+	Cause CauseKind
 }
 
 // Listener receives cluster events synchronously, in order.
 type Listener func(Event)
+
+// Annotation is a causal-chain anchor that is not itself a cluster state
+// change: a capacity threshold crossing, a violation detection, a drain
+// or crash decision, a chaos injection, a replica build. Annotations
+// share the Seq space with events so a chain can pass through them, but
+// they are only generated while an annotation listener is subscribed
+// (the event journal); unobserved runs skip them entirely.
+type Annotation struct {
+	// Kind names the anchor: "capacity-crossed", "violation", "drain",
+	// "node-crash", "resize", "chaos-injection", "replica-build",
+	// "build-complete".
+	Kind string
+	// Time is the simulated time of the anchor.
+	Time time.Time
+	// Seq and CauseSeq thread the annotation into the causal sequence.
+	Seq      uint64
+	CauseSeq uint64
+	// Cause labels the decision path, mirroring Event.Cause.
+	Cause CauseKind
+	// Node, Service, and Replica locate the anchor (whichever apply).
+	Node    string
+	Service string
+	Replica ReplicaID
+	// Metric is the metric involved (capacity crossings, violations).
+	Metric MetricName
+	// Value and Limit quantify the anchor (load vs capacity, build GB).
+	Value, Limit float64
+	// Detail carries free-form context ("node-crash", a chaos fault kind).
+	Detail string
+}
+
+// AnnotationListener receives causal annotations synchronously, in order.
+type AnnotationListener func(Annotation)

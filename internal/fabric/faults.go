@@ -194,11 +194,19 @@ func (c *Cluster) CrashNode(id string) (evacuated, stranded int, err error) {
 	n.down = true
 	n.crashed = true
 	n.lastCrash = now
+	// The crash anchor inherits the ambient cause (a chaos injection when
+	// the chaos engine bracketed this call) and becomes the cause of every
+	// evacuation failover and of the EventNodeCrashed itself — so a
+	// journal chain reads injection → crash → evacuation → build.
+	prevCause := c.BeginCause(CauseCrash, c.Annotate(Annotation{
+		Kind: "node-crash", Node: id, Detail: "crash",
+	}))
 	evacuated, stranded = c.evacuateNode(n, EventFailover, true)
 	if stranded > 0 {
 		c.obs.Log().Warnf("fabric: crash of %s stranded %d replicas", id, stranded)
 	}
 	c.emit(Event{Kind: EventNodeCrashed, Time: now, From: id})
+	c.EndCause(prevCause)
 	sp.End(obs.Int("evacuated", evacuated), obs.Int("stranded", stranded))
 	return evacuated, stranded, nil
 }

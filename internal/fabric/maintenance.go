@@ -43,12 +43,18 @@ func (c *Cluster) SetNodeDown(id string) (evacuated, stranded int, err error) {
 	c.obs.Counter("fabric.node_drains").Inc()
 	n.down = true // placement and targets exclude it from here on
 	// The sorted-order evacuation is shared with CrashNode (faults.go);
-	// drains account their moves as planned.
+	// drains account their moves as planned. The drain anchor makes every
+	// evacuation move (and the EventNodeDown) causally attributable to
+	// this maintenance decision.
+	prevCause := c.BeginCause(CauseDrain, c.Annotate(Annotation{
+		Kind: "drain", Node: id,
+	}))
 	evacuated, stranded = c.evacuateNode(n, EventBalanceMove, false)
 	if stranded > 0 {
 		c.obs.Log().Warnf("fabric: drain of %s stranded %d replicas", id, stranded)
 	}
 	c.emit(Event{Kind: EventNodeDown, Time: c.clock.Now(), From: id})
+	c.EndCause(prevCause)
 	sp.End(obs.Int("evacuated", evacuated), obs.Int("stranded", stranded))
 	return evacuated, stranded, nil
 }

@@ -354,6 +354,19 @@ func (p *plb) fixViolations(m MetricName, now time.Time, scanBudget int) int {
 			obs.Float("load", n.Load(m)),
 			obs.Float("capacity", p.capacity(n, m)),
 		)
+		// Anchor the violation in the causal journal, chained to the load
+		// report that pushed the node over capacity (0 when the crossing
+		// came from placement or seeded loads rather than a report), and
+		// make it the ambient cause of every move that fixes it.
+		vseq := p.cluster.Annotate(Annotation{
+			Kind:     "violation",
+			CauseSeq: n.overSince[m],
+			Node:     n.ID,
+			Metric:   m,
+			Value:    n.Load(m),
+			Limit:    p.capacity(n, m),
+		})
+		prevCause := p.cluster.BeginCause(CauseViolation, vseq)
 		moves := 0
 		for n.Load(m) > p.capacity(n, m) && moves < p.cfg.MaxMovesPerViolation &&
 			(scanBudget < 0 || total+moves < scanBudget) {
@@ -368,6 +381,7 @@ func (p *plb) fixViolations(m MetricName, now time.Time, scanBudget int) int {
 			p.cluster.moveReplica(victim, target, m, EventFailover)
 			moves++
 		}
+		p.cluster.EndCause(prevCause)
 		if moves == 0 {
 			// The Enabled guard keeps the scan allocation-free when logging
 			// is off: building the Warnf varargs would box n.ID per call.
@@ -556,7 +570,14 @@ func (p *plb) balance(now time.Time) {
 			MetricMemoryGB: r.Loads[MetricMemoryGB],
 		}
 		if p.fitsOn(lo, &extra) {
+			prevCause := p.cluster.BeginCause(CauseBalance, p.cluster.Annotate(Annotation{
+				Kind:  "balance",
+				Node:  hi.ID,
+				Value: hiU,
+				Limit: loU,
+			}))
 			p.cluster.moveReplica(r, lo, MetricDiskGB, EventBalanceMove)
+			p.cluster.EndCause(prevCause)
 			moved = true
 			return
 		}

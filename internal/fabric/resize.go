@@ -78,6 +78,15 @@ func (c *Cluster) ResizeService(name string, newCores float64) (ResizeOutcome, e
 	// reservation first so the PLB's target checks use the post-resize
 	// demand, then roll back on failure.
 	svc.ReservedCoresPerReplica = newCores
+	// Every forced move below chains to this resize decision. The anchor
+	// is only recorded when moves are actually needed, so in-place
+	// resizes leave no causal residue.
+	if len(needMove) > 0 {
+		prevCause := c.BeginCause(CauseResize, c.Annotate(Annotation{
+			Kind: "resize", Service: name, Value: newCores, Limit: out.OldCores,
+		}))
+		defer c.EndCause(prevCause)
+	}
 	var moved []*Replica
 	for _, r := range needMove {
 		apply(r) // target checks see the new core load

@@ -231,6 +231,12 @@ type Node struct {
 	// bit-for-bit run reproducibility (§5.2); the running total follows
 	// deterministic event order.
 	totals LoadVector
+	// overSince holds, per metric, the Seq of the "capacity-crossed"
+	// annotation recorded when a load report pushed the node over its
+	// enforced capacity (0 while under capacity, or when no journal is
+	// attached). The PLB's violation anchor chains to it, linking
+	// load report → violation → failover in the causal journal.
+	overSince [NumMetrics]uint64
 }
 
 func newNode(id string, idx int, capacity LoadVector) *Node {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
@@ -16,6 +17,7 @@ import (
 type Flags struct {
 	TraceOut   string
 	MetricsOut string
+	JournalOut string
 	CPUProfile string
 	MemProfile string
 	LogLevel   string
@@ -27,6 +29,7 @@ func BindFlags(fs *flag.FlagSet) *Flags {
 	f := &Flags{}
 	fs.StringVar(&f.TraceOut, "trace-out", "", "write a Chrome/Perfetto trace-event file (.json array, .jsonl lines)")
 	fs.StringVar(&f.MetricsOut, "metrics-out", "", "write a metrics-registry JSON snapshot to this file")
+	fs.StringVar(&f.JournalOut, "journal-out", "", "write the causal event journal to this file (.jsonl, .jsonl.gz); a .series.json sidecar is written alongside")
 	fs.StringVar(&f.CPUProfile, "cpuprofile", "", "write a pprof CPU profile to this file")
 	fs.StringVar(&f.MemProfile, "memprofile", "", "write a pprof heap profile to this file")
 	fs.StringVar(&f.LogLevel, "log-level", "", "sim-time log level on stderr: debug, info, warn, error (default off)")
@@ -34,9 +37,11 @@ func BindFlags(fs *flag.FlagSet) *Flags {
 }
 
 // Enabled reports whether tracing or metrics collection was requested —
-// when false, Session.Obs stays nil and instrumentation is a no-op.
+// when false, Session.Obs stays nil and instrumentation is a no-op. A
+// journal counts: journaled runs embed a final metrics snapshot, which
+// needs a live registry.
 func (f *Flags) Enabled() bool {
-	return f.TraceOut != "" || f.MetricsOut != "" || f.LogLevel != ""
+	return f.TraceOut != "" || f.MetricsOut != "" || f.JournalOut != "" || f.LogLevel != ""
 }
 
 // Session is a started observability session: the Obs handle to thread
@@ -123,14 +128,29 @@ func (s *Session) Close() error {
 	return first
 }
 
+// writeFile writes an artifact atomically: the content lands in a temp
+// file in the destination directory and is renamed into place only after
+// a successful write and close, so an interrupted run (SIGINT, crash,
+// full disk) never leaves a torn half-artifact where a previous good one
+// stood.
 func writeFile(path string, fn func(io.Writer) error) error {
-	f, err := os.Create(path)
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, ".tmp-"+filepath.Base(path)+"-*")
 	if err != nil {
 		return err
 	}
 	if err := fn(f); err != nil {
 		f.Close()
+		os.Remove(f.Name())
 		return err
 	}
-	return f.Close()
+	if err := f.Close(); err != nil {
+		os.Remove(f.Name())
+		return err
+	}
+	if err := os.Rename(f.Name(), path); err != nil {
+		os.Remove(f.Name())
+		return err
+	}
+	return nil
 }

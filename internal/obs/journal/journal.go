@@ -1,0 +1,462 @@
+// Package journal records the causal event stream of a simulated
+// cluster: an append-only, sim-timestamped JSONL file (optionally
+// gzipped) holding every fabric event and every causal annotation the
+// cluster generates, plus a leading metadata entry and an optional final
+// metrics snapshot. Events and annotations share one sequence-number
+// space and carry CauseSeq back-pointers, so a reader can reconstruct
+// decision chains like
+//
+//	load report → capacity crossed → violation → failover → replica build
+//	chaos injection → node crash → evacuation failovers → restart
+//
+// without replaying the simulation. The recorded event fields are exactly
+// the ones the golden event-stream determinism tests hash, and
+// EventStreamHash reproduces that serialization bit-for-bit — so a
+// journal written by a run hash-matches the golden stream the run would
+// have produced, making the journal a trustworthy artifact rather than a
+// parallel implementation that can drift.
+package journal
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"toto/internal/fabric"
+	"toto/internal/obs"
+)
+
+// Entry types. A journal is a sequence of typed JSONL entries.
+const (
+	// TypeMeta is the leading entry naming the run.
+	TypeMeta = "meta"
+	// TypeEvent is a fabric cluster event (state change).
+	TypeEvent = "event"
+	// TypeAnnotation is a causal anchor that is not itself a state change.
+	TypeAnnotation = "annotation"
+	// TypeMetrics is a final obs registry snapshot.
+	TypeMetrics = "metrics"
+)
+
+// Entry is one journal line. Fields are a union across entry types;
+// omitempty keeps lines compact, and because every omitted field decodes
+// to its zero value the round trip is exact — EventStreamHash over
+// re-read entries equals the hash over the live stream.
+type Entry struct {
+	Type string `json:"type"`
+	// T is the simulated time in Unix nanoseconds.
+	T int64 `json:"t"`
+	// Seq and CauseSeq thread the entry into the causal sequence shared by
+	// events and annotations. CauseSeq 0 means no recorded anchor.
+	Seq      uint64 `json:"seq,omitempty"`
+	CauseSeq uint64 `json:"causeSeq,omitempty"`
+	// Cause is the decision-path label (fabric.CauseKind.String); empty
+	// for "none".
+	Cause string `json:"cause,omitempty"`
+	// Kind is the event kind name or the annotation kind.
+	Kind string `json:"kind,omitempty"`
+	// KindCode is the numeric fabric.EventKind for event entries — the
+	// value the golden hash serializes (names are for humans, codes for
+	// hashing; both are recorded so neither needs a lookup table).
+	KindCode int `json:"kindCode,omitempty"`
+	// Service is the subject service name (events: the created/dropped
+	// service; annotations: the resized service).
+	Service string `json:"service,omitempty"`
+	// ReplicaSvc and ReplicaIdx are the moved replica's ID for movement
+	// events and build annotations.
+	ReplicaSvc string `json:"replicaSvc,omitempty"`
+	ReplicaIdx int    `json:"replicaIdx,omitempty"`
+	// From and To are node IDs for movement and node-lifecycle events.
+	From string `json:"from,omitempty"`
+	To   string `json:"to,omitempty"`
+	// Node locates annotations (crossings, violations, crashes, drains).
+	Node string `json:"node,omitempty"`
+	// Metric is the metric name; set on failover/balance events and on
+	// capacity annotations.
+	Metric string `json:"metric,omitempty"`
+	// Movement payloads, mirroring fabric.Event.
+	MovedCores  float64 `json:"movedCores,omitempty"`
+	MovedDiskGB float64 `json:"movedDiskGB,omitempty"`
+	BuildNs     int64   `json:"buildNs,omitempty"`
+	DowntimeNs  int64   `json:"downtimeNs,omitempty"`
+	// Value and Limit quantify annotations (load vs capacity, build GB).
+	Value float64 `json:"value,omitempty"`
+	Limit float64 `json:"limit,omitempty"`
+	// Detail carries free-form annotation context (chaos fault kind).
+	Detail string `json:"detail,omitempty"`
+	// Name and Attrs describe the run (meta entries).
+	Name  string            `json:"name,omitempty"`
+	Attrs map[string]string `json:"attrs,omitempty"`
+	// Metrics embeds a final registry snapshot (metrics entries).
+	Metrics *obs.Snapshot `json:"metrics,omitempty"`
+}
+
+// Time returns the entry's simulated time.
+func (e *Entry) Time() time.Time { return time.Unix(0, e.T) }
+
+// tailSize is how many recent entries a Writer retains in memory for the
+// live journal-tail endpoint.
+const tailSize = 256
+
+// Writer appends entries to a journal. It is safe for concurrent use
+// (the -http endpoint reads the tail while the simulation goroutine
+// appends). Errors are sticky: the first write error is retained and
+// every later Append becomes a no-op, so a full disk degrades the
+// journal, never the simulation.
+type Writer struct {
+	mu   sync.Mutex
+	sink io.Writer
+	buf  []byte
+	bw   *bufio.Writer
+	gz   *gzip.Writer
+	f    *os.File
+	err  error
+
+	closed      bool
+	events      int
+	annotations int
+	// tail is the in-memory ring behind the live journal-tail endpoint,
+	// allocated only by EnableTail — unserved journals skip the ring
+	// entirely (it is ~85KB of Entry copies per run otherwise).
+	tail     []Entry
+	tailLen  int
+	tailNext int
+}
+
+// Create opens a journal file for writing, truncating any existing file.
+// A ".gz" suffix selects gzip compression (BestSpeed — the journal is on
+// the simulation's critical path).
+func Create(path string) (*Writer, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	w := &Writer{f: f, bw: bufio.NewWriterSize(f, 1<<16)}
+	w.sink = w.bw
+	if strings.HasSuffix(path, ".gz") {
+		w.gz, _ = gzip.NewWriterLevel(w.bw, gzip.BestSpeed)
+		w.sink = w.gz
+	}
+	return w, nil
+}
+
+// NewWriter wraps an arbitrary sink (a bytes.Buffer in tests,
+// io.Discard in benchmarks). Close flushes but does not close the sink.
+func NewWriter(sink io.Writer) *Writer {
+	return &Writer{sink: sink}
+}
+
+// Attach subscribes the writer to a cluster's event and annotation
+// streams. Everything the cluster does from this point on is journaled;
+// attach before Cluster.Start to capture initial placements.
+func (w *Writer) Attach(c *fabric.Cluster) {
+	c.Subscribe(func(ev fabric.Event) { w.Append(EventEntry(ev)) })
+	c.SubscribeAnnotations(func(a fabric.Annotation) { w.Append(AnnotationEntry(a)) })
+}
+
+// Meta writes the run-description entry. Call it first.
+func (w *Writer) Meta(name string, at time.Time, attrs map[string]string) {
+	w.Append(Entry{Type: TypeMeta, T: at.UnixNano(), Name: name, Attrs: attrs})
+}
+
+// Snapshot appends a final metrics entry embedding the registry state.
+func (w *Writer) Snapshot(s obs.Snapshot, at time.Time) {
+	w.Append(Entry{Type: TypeMetrics, T: at.UnixNano(), Metrics: &s})
+}
+
+// Append writes one entry. After the first error (or Close) it is a
+// no-op; check Err at Close time.
+func (w *Writer) Append(e Entry) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed || w.err != nil {
+		return
+	}
+	// Events and annotations dominate the journal and sit on the
+	// simulation's critical path; they are encoded by hand (reflection-free,
+	// one buffer reused across appends). The rare meta/metrics entries
+	// carry maps and nested snapshots and go through encoding/json.
+	if e.Attrs == nil && e.Metrics == nil {
+		w.buf = e.appendJSON(w.buf[:0])
+	} else {
+		// The copy keeps &e out of Marshal, so the hot path's parameter
+		// stays stack-allocated.
+		heap := e
+		b, err := json.Marshal(&heap)
+		if err != nil {
+			w.err = fmt.Errorf("journal: %w", err)
+			return
+		}
+		w.buf = append(append(w.buf[:0], b...), '\n')
+	}
+	if _, err := w.sink.Write(w.buf); err != nil {
+		w.err = fmt.Errorf("journal: %w", err)
+		return
+	}
+	switch e.Type {
+	case TypeEvent:
+		w.events++
+	case TypeAnnotation:
+		w.annotations++
+	}
+	if w.tail != nil {
+		w.tail[w.tailNext] = e
+		w.tailNext = (w.tailNext + 1) % tailSize
+		if w.tailLen < tailSize {
+			w.tailLen++
+		}
+	}
+}
+
+// EnableTail starts retaining the most recent entries in memory for
+// Tail. Call it before serving a live journal-tail endpoint; entries
+// appended before the call are not retained.
+func (w *Writer) EnableTail() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.tail == nil {
+		w.tail = make([]Entry, tailSize)
+	}
+}
+
+// Counts returns how many events and annotations have been appended.
+func (w *Writer) Counts() (events, annotations int) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.events, w.annotations
+}
+
+// Tail returns up to n most recent entries, oldest first — the live
+// journal-tail endpoint's data.
+func (w *Writer) Tail(n int) []Entry {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if n > w.tailLen {
+		n = w.tailLen
+	}
+	out := make([]Entry, 0, n)
+	for i := w.tailLen - n; i < w.tailLen; i++ {
+		out = append(out, w.tail[(w.tailNext-w.tailLen+i+2*tailSize)%tailSize])
+	}
+	return out
+}
+
+// Err returns the sticky write error, if any.
+func (w *Writer) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}
+
+// Close flushes and closes the journal. Idempotent; safe on a nil
+// receiver so callers can close an optional journal unconditionally.
+func (w *Writer) Close() error {
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return w.err
+	}
+	w.closed = true
+	if w.gz != nil {
+		if err := w.gz.Close(); err != nil && w.err == nil {
+			w.err = err
+		}
+	}
+	if w.bw != nil {
+		if err := w.bw.Flush(); err != nil && w.err == nil {
+			w.err = err
+		}
+	}
+	if w.f != nil {
+		if err := w.f.Close(); err != nil && w.err == nil {
+			w.err = err
+		}
+	}
+	return w.err
+}
+
+// appendJSON encodes the entry as one compact JSONL line without
+// reflection, with omitempty semantics identical to the struct tags. Only
+// entries without Attrs/Metrics take this path (see Append). Floats use
+// strconv's shortest representation, which decodes back to the identical
+// float64 — the property the golden-hash round-trip test relies on.
+func (e *Entry) appendJSON(b []byte) []byte {
+	b = append(b, `{"type":`...)
+	b = appendJSONString(b, e.Type)
+	b = append(b, `,"t":`...)
+	b = strconv.AppendInt(b, e.T, 10)
+	if e.Seq != 0 {
+		b = strconv.AppendUint(append(b, `,"seq":`...), e.Seq, 10)
+	}
+	if e.CauseSeq != 0 {
+		b = strconv.AppendUint(append(b, `,"causeSeq":`...), e.CauseSeq, 10)
+	}
+	if e.Cause != "" {
+		b = appendJSONString(append(b, `,"cause":`...), e.Cause)
+	}
+	if e.Kind != "" {
+		b = appendJSONString(append(b, `,"kind":`...), e.Kind)
+	}
+	if e.KindCode != 0 {
+		b = strconv.AppendInt(append(b, `,"kindCode":`...), int64(e.KindCode), 10)
+	}
+	if e.Service != "" {
+		b = appendJSONString(append(b, `,"service":`...), e.Service)
+	}
+	if e.ReplicaSvc != "" {
+		b = appendJSONString(append(b, `,"replicaSvc":`...), e.ReplicaSvc)
+	}
+	if e.ReplicaIdx != 0 {
+		b = strconv.AppendInt(append(b, `,"replicaIdx":`...), int64(e.ReplicaIdx), 10)
+	}
+	if e.From != "" {
+		b = appendJSONString(append(b, `,"from":`...), e.From)
+	}
+	if e.To != "" {
+		b = appendJSONString(append(b, `,"to":`...), e.To)
+	}
+	if e.Node != "" {
+		b = appendJSONString(append(b, `,"node":`...), e.Node)
+	}
+	if e.Metric != "" {
+		b = appendJSONString(append(b, `,"metric":`...), e.Metric)
+	}
+	if e.MovedCores != 0 {
+		b = appendJSONFloat(append(b, `,"movedCores":`...), e.MovedCores)
+	}
+	if e.MovedDiskGB != 0 {
+		b = appendJSONFloat(append(b, `,"movedDiskGB":`...), e.MovedDiskGB)
+	}
+	if e.BuildNs != 0 {
+		b = strconv.AppendInt(append(b, `,"buildNs":`...), e.BuildNs, 10)
+	}
+	if e.DowntimeNs != 0 {
+		b = strconv.AppendInt(append(b, `,"downtimeNs":`...), e.DowntimeNs, 10)
+	}
+	if e.Value != 0 {
+		b = appendJSONFloat(append(b, `,"value":`...), e.Value)
+	}
+	if e.Limit != 0 {
+		b = appendJSONFloat(append(b, `,"limit":`...), e.Limit)
+	}
+	if e.Detail != "" {
+		b = appendJSONString(append(b, `,"detail":`...), e.Detail)
+	}
+	if e.Name != "" {
+		b = appendJSONString(append(b, `,"name":`...), e.Name)
+	}
+	return append(b, '}', '\n')
+}
+
+// appendJSONString writes a quoted JSON string. Quotes, backslashes, and
+// control bytes are escaped; everything else (including multi-byte UTF-8)
+// passes through verbatim, which is valid JSON and what the decoder
+// expects.
+func appendJSONString(b []byte, s string) []byte {
+	b = append(b, '"')
+	start := 0
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 0x20 && c != '"' && c != '\\' {
+			continue
+		}
+		b = append(b, s[start:i]...)
+		switch c {
+		case '"', '\\':
+			b = append(b, '\\', c)
+		case '\n':
+			b = append(b, '\\', 'n')
+		case '\t':
+			b = append(b, '\\', 't')
+		case '\r':
+			b = append(b, '\\', 'r')
+		default:
+			b = append(b, '\\', 'u', '0', '0', hexDigits[c>>4], hexDigits[c&0xf])
+		}
+		start = i + 1
+	}
+	b = append(b, s[start:]...)
+	return append(b, '"')
+}
+
+const hexDigits = "0123456789abcdef"
+
+// appendJSONFloat writes a float in shortest-round-trip form. Non-finite
+// values have no JSON representation; they cannot occur in simulation
+// output, but a defensive null keeps a corrupt value from tearing the
+// line format.
+func appendJSONFloat(b []byte, v float64) []byte {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return append(b, "null"...)
+	}
+	return strconv.AppendFloat(b, v, 'g', -1, 64)
+}
+
+// EventEntry converts a fabric event to its journal form. The fields the
+// golden determinism hash serializes are copied verbatim; Metric is
+// recorded only where the hash reads it (failovers and balance moves),
+// mirroring the hash's own conditional.
+func EventEntry(ev fabric.Event) Entry {
+	e := Entry{
+		Type:        TypeEvent,
+		T:           ev.Time.UnixNano(),
+		Seq:         ev.Seq,
+		CauseSeq:    ev.CauseSeq,
+		Kind:        ev.Kind.String(),
+		KindCode:    int(ev.Kind),
+		ReplicaSvc:  ev.Replica.Service,
+		ReplicaIdx:  ev.Replica.Index,
+		From:        ev.From,
+		To:          ev.To,
+		MovedCores:  ev.MovedCores,
+		MovedDiskGB: ev.MovedDiskGB,
+		BuildNs:     ev.BuildDuration.Nanoseconds(),
+		DowntimeNs:  ev.Downtime.Nanoseconds(),
+	}
+	if ev.Cause != fabric.CauseNone {
+		e.Cause = ev.Cause.String()
+	}
+	if ev.Service != nil {
+		e.Service = ev.Service.Name
+	}
+	if ev.Kind == fabric.EventFailover || ev.Kind == fabric.EventBalanceMove {
+		e.Metric = ev.Metric.String()
+	}
+	return e
+}
+
+// AnnotationEntry converts a causal annotation to its journal form.
+func AnnotationEntry(a fabric.Annotation) Entry {
+	e := Entry{
+		Type:       TypeAnnotation,
+		T:          a.Time.UnixNano(),
+		Seq:        a.Seq,
+		CauseSeq:   a.CauseSeq,
+		Kind:       a.Kind,
+		Node:       a.Node,
+		Service:    a.Service,
+		ReplicaSvc: a.Replica.Service,
+		ReplicaIdx: a.Replica.Index,
+		Value:      a.Value,
+		Limit:      a.Limit,
+		Detail:     a.Detail,
+	}
+	if a.Cause != fabric.CauseNone {
+		e.Cause = a.Cause.String()
+	}
+	if a.Metric != 0 || a.Kind == "capacity-crossed" || a.Kind == "violation" {
+		e.Metric = a.Metric.String()
+	}
+	return e
+}

@@ -1,0 +1,83 @@
+package timeseries
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestSeriesRingAndSummary(t *testing.T) {
+	s := NewStore(time.Minute, 4).Series("x")
+	for i := 1; i <= 6; i++ {
+		s.Push(float64(i))
+	}
+	// Capacity 4, six pushes: the ring keeps 3..6 and reports 2 dropped.
+	got := s.Values()
+	want := []float64{3, 4, 5, 6}
+	if len(got) != len(want) {
+		t.Fatalf("values = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("values = %v, want %v", got, want)
+		}
+	}
+	if s.Dropped() != 2 {
+		t.Errorf("dropped = %d, want 2", s.Dropped())
+	}
+	sum := s.Summary()
+	if sum.Count != 4 || sum.Min != 3 || sum.Max != 6 {
+		t.Errorf("summary = %+v", sum)
+	}
+	if math.Abs(sum.Mean-4.5) > 1e-12 {
+		t.Errorf("mean = %g, want 4.5", sum.Mean)
+	}
+	if sum.P50 < 4 || sum.P50 > 5 {
+		t.Errorf("p50 = %g, want within [4,5]", sum.P50)
+	}
+}
+
+func TestStoreFileRoundTrip(t *testing.T) {
+	st := NewStore(10*time.Minute, 16)
+	st.SetStart(time.Date(2020, time.June, 1, 0, 0, 0, 0, time.UTC))
+	a := st.Series("util.cores/node-0")
+	for i := 0; i < 5; i++ {
+		a.Push(0.1 * float64(i))
+	}
+	st.Series("cluster.services").Push(42)
+
+	path := filepath.Join(t.TempDir(), "run.series.json")
+	if err := st.WriteFile(path); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	back, err := ReadFile(path)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if back.Resolution() != 10*time.Minute {
+		t.Errorf("resolution = %v", back.Resolution())
+	}
+	names := back.Names()
+	if len(names) != 2 || names[0] != "cluster.services" || names[1] != "util.cores/node-0" {
+		t.Errorf("names = %v", names)
+	}
+	vals := back.Series("util.cores/node-0").Values()
+	if len(vals) != 5 || vals[4] != 0.4 {
+		t.Errorf("values = %v", vals)
+	}
+}
+
+func TestPathFor(t *testing.T) {
+	cases := map[string]string{
+		"run.jsonl.gz": "run.series.json",
+		"run.jsonl":    "run.series.json",
+		"/tmp/x.jsonl": "/tmp/x.series.json",
+		"bare":         "bare.series.json",
+	}
+	for in, want := range cases {
+		if got := PathFor(in); got != want {
+			t.Errorf("PathFor(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -144,6 +144,32 @@ type Totals struct {
 	Databases int
 }
 
+// AttributePenalty splits a run's total SLA penalty across labeled
+// downtime contributions, proportionally to each label's share of the
+// penalizable downtime. The per-database credit ladder is nonlinear, so
+// an exact per-cause decomposition does not exist once downtimes from
+// different causes land on the same database; the proportional split is
+// the standard attribution convention (as in cost-of-outage postmortems)
+// and sums exactly to the total. Labels with zero downtime get zero;
+// when no downtime was recorded at all the total is returned under "".
+func AttributePenalty(totalPenalty float64, downtimeNs map[string]int64) map[string]float64 {
+	out := make(map[string]float64, len(downtimeNs))
+	var sum int64
+	for _, ns := range downtimeNs {
+		sum += ns
+	}
+	if sum <= 0 {
+		if totalPenalty != 0 {
+			out[""] = totalPenalty
+		}
+		return out
+	}
+	for label, ns := range downtimeNs {
+		out[label] = totalPenalty * float64(ns) / float64(sum)
+	}
+	return out
+}
+
 // Aggregate sums a slice of per-database revenues.
 func Aggregate(revs []Revenue) Totals {
 	var t Totals

@@ -9,16 +9,22 @@
 #
 # Environment:
 #   BENCHTIME   overrides the -benchtime for the full run (default 2s)
+#   BENCHCOUNT  overrides the repetitions per benchmark (default 3)
 #   OUT         overrides the output path (default BENCH_fabric.json)
 #
 # The JSON maps each benchmark to its ns/op, B/op, and allocs/op, so a
-# later run can be diffed against the committed baseline. The numbers are
-# machine-dependent: compare runs from the same machine only.
+# later run can be diffed against the committed baseline. Each benchmark
+# runs BENCHCOUNT times and the fastest repetition is recorded: on shared
+# machines the minimum is the least-noisy estimate, and recording a single
+# pass makes late-suite benchmarks look slower than early ones purely from
+# scheduler drift. The numbers are machine-dependent: compare runs from
+# the same machine only.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BENCHES='^(BenchmarkPlacement|BenchmarkGreedyPlacement|BenchmarkPlace|BenchmarkScan|BenchmarkPLBScan|BenchmarkReportLoad|BenchmarkNamingService|BenchmarkSimulatedDay|BenchmarkSimulatedDayWithFaults)$'
+BENCHES='^(BenchmarkPlacement|BenchmarkGreedyPlacement|BenchmarkPlace|BenchmarkScan|BenchmarkPLBScan|BenchmarkReportLoad|BenchmarkNamingService|BenchmarkSimulatedDay|BenchmarkSimulatedDayWithFaults|BenchmarkSimulatedDayJournaled)$'
 BENCHTIME="${BENCHTIME:-2s}"
+BENCHCOUNT="${BENCHCOUNT:-3}"
 OUT="${OUT:-BENCH_fabric.json}"
 
 if [[ "${1:-}" == "smoke" ]]; then
@@ -29,7 +35,7 @@ fi
 
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
-go test ./internal/fabric/ -run '^$' -bench "$BENCHES" -benchtime "$BENCHTIME" -benchmem | tee "$raw"
+go test ./internal/fabric/ -run '^$' -bench "$BENCHES" -benchtime "$BENCHTIME" -count "$BENCHCOUNT" -benchmem | tee "$raw"
 
 awk '
 /^Benchmark/ {
@@ -42,8 +48,11 @@ awk '
         if ($i == "allocs/op") allocs = $(i - 1)
     }
     if (ns == "") next
-    names[++n] = name
-    nsv[name] = ns; bv[name] = bytes; av[name] = allocs
+    if (!(name in nsv)) names[++n] = name
+    # Keep the fastest repetition (and its memory numbers).
+    if (!(name in nsv) || ns + 0 < nsv[name] + 0) {
+        nsv[name] = ns; bv[name] = bytes; av[name] = allocs
+    }
 }
 END {
     print "{"
