@@ -219,8 +219,92 @@ func runReport(args []string) error {
 
 	printTimelines(w, entries, st, *width)
 	printRootCauses(w, st)
+	printAvailability(w, entries)
 	printPenalty(w, st)
 	return nil
+}
+
+// printAvailability renders the per-fault-domain quorum-availability
+// breakdown: every window where a replica set lost its primary or a
+// majority of replicas, paired loss→restore, grouped by the fault
+// domain whose outage opened the window and attributed to the root
+// cause of its causal chain. Journals from topology-free runs carry no
+// quorum annotations and skip the section entirely.
+func printAvailability(w *os.File, entries []journal.Entry) {
+	idx := journal.Index(entries)
+	type window struct {
+		domain, cause string
+		ns            int64
+	}
+	open := map[string]*journal.Entry{} // service -> unmatched quorum-lost
+	var windows []window
+	for i := range entries {
+		e := &entries[i]
+		if e.Type != journal.TypeAnnotation {
+			continue
+		}
+		switch e.Kind {
+		case "quorum-lost":
+			open[e.Service] = e
+		case "quorum-restored":
+			lost := open[e.Service]
+			if lost == nil {
+				continue
+			}
+			delete(open, e.Service)
+			domain := lost.Detail
+			if domain == "" {
+				domain = "unknown"
+			}
+			windows = append(windows, window{
+				domain: domain,
+				cause:  journal.RootCause(idx, lost),
+				ns:     int64(e.Value * float64(time.Second)),
+			})
+		}
+	}
+	if len(windows) == 0 && len(open) == 0 {
+		return
+	}
+	byDomain := map[string]struct {
+		count  int
+		ns     int64
+		causes map[string]int
+	}{}
+	for _, win := range windows {
+		d := byDomain[win.domain]
+		if d.causes == nil {
+			d.causes = map[string]int{}
+		}
+		d.count++
+		d.ns += win.ns
+		d.causes[win.cause]++
+		byDomain[win.domain] = d
+	}
+	fmt.Fprintf(w, "\nquorum availability by fault domain (%d windows):\n", len(windows))
+	fmt.Fprintf(w, "  %-10s %9s %14s  %s\n", "domain", "windows", "unavailable", "root causes")
+	domains := make([]string, 0, len(byDomain))
+	for d := range byDomain {
+		domains = append(domains, d)
+	}
+	sort.Strings(domains)
+	for _, dom := range domains {
+		d := byDomain[dom]
+		causes := make([]string, 0, len(d.causes))
+		for c := range d.causes {
+			causes = append(causes, c)
+		}
+		sort.Strings(causes)
+		parts := make([]string, len(causes))
+		for i, c := range causes {
+			parts[i] = fmt.Sprintf("%s ×%d", c, d.causes[c])
+		}
+		fmt.Fprintf(w, "  %-10s %9d %14s  %s\n", dom, d.count,
+			time.Duration(d.ns).Round(time.Second), strings.Join(parts, ", "))
+	}
+	if len(open) > 0 {
+		fmt.Fprintf(w, "  WARNING: %d quorum-loss windows never closed\n", len(open))
+	}
 }
 
 // printHeatmaps renders one per-node heatmap per enforced metric found

@@ -9,6 +9,8 @@
 //	totosim -scenario run.json       # declarative scenario file
 //	totosim -density 1.4 -days 6     # flag overrides
 //	totosim -out results/            # write samples/failovers/nodes CSVs
+//	totosim -topology 4x3 -upgrade 12   # 4 fault / 3 upgrade domains,
+//	                                    # domain upgrade at hour 12
 //
 // Scenario file format (JSON; all fields optional):
 //
@@ -29,6 +31,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -37,6 +40,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"sync/atomic"
 	"time"
 
 	"toto/internal/chaos"
@@ -57,6 +61,8 @@ func main() {
 	chaosPath := flag.String("chaos", "", "JSON chaos spec file injected over the measured window")
 	chaosSeed := flag.Uint64("chaos-seed", 0, "override the chaos spec's seed (nonzero)")
 	httpAddr := flag.String("http", "", "serve a live debug endpoint on this address (pprof, /metrics, /journal/tail)")
+	topology := flag.String("topology", "", "stripe nodes over fault and upgrade domains, as FDxUD (e.g. 4x3)")
+	upgradeStart := flag.Float64("upgrade", 0, "schedule a safety-checked domain upgrade this many hours into the measured window (needs -topology or a scenario topology section)")
 	obsFlags := obs.BindFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -87,9 +93,17 @@ func main() {
 	// dropped, everything before is flushed.
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt)
+	var debugSrv atomic.Pointer[http.Server]
 	go func() {
 		<-sigCh
 		fmt.Fprintln(os.Stderr, "totosim: interrupted; flushing artifacts")
+		if srv := debugSrv.Load(); srv != nil {
+			// Finish in-flight debug requests (bounded) before dying so a
+			// concurrent /metrics scrape is not cut mid-body.
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			_ = srv.Shutdown(ctx)
+			cancel()
+		}
 		_ = jw.Close()
 		_ = sess.Close()
 		os.Exit(130)
@@ -157,6 +171,22 @@ func main() {
 	}
 
 	sc := spec.Build(set)
+	if *topology != "" {
+		var fd, ud int
+		if n, err := fmt.Sscanf(*topology, "%dx%d", &fd, &ud); n != 2 || err != nil || fd < 0 || ud < 0 {
+			fail(fmt.Errorf("bad -topology %q, want FDxUD (e.g. 4x3)", *topology))
+		}
+		sc.FaultDomains, sc.UpgradeDomains = fd, ud
+	}
+	if *upgradeStart > 0 {
+		// Pacing beyond the start hour (per-domain duration, retry,
+		// timeout, headroom) comes from the scenario file's "upgrade"
+		// section or the fabric defaults.
+		if sc.DomainUpgrade == nil {
+			sc.DomainUpgrade = &core.DomainUpgrade{}
+		}
+		sc.DomainUpgrade.Start = time.Duration(*upgradeStart * float64(time.Hour))
+	}
 	sc.Obs = sess.Obs
 	var series *timeseries.Store
 	if jw != nil {
@@ -181,7 +211,7 @@ func main() {
 		if jw != nil {
 			jw.EnableTail()
 		}
-		serveDebug(*httpAddr, sess, jw)
+		debugSrv.Store(serveDebug(*httpAddr, sess, jw))
 	}
 	res, err := core.Run(sc)
 	if err != nil {
@@ -220,6 +250,14 @@ func main() {
 	fmt.Printf("revenue: gross $%.0f, penalty $%.0f, adjusted $%.0f (%d breached of %d DBs)\n",
 		res.Revenue.Gross, res.Revenue.Penalty, res.Revenue.Adjusted,
 		res.Revenue.Breached, res.Revenue.Databases)
+	if sc.FaultDomains > 0 {
+		fmt.Printf("quorum: %d losses, %s unavailable (topology %dx%d)\n",
+			res.QuorumLosses, res.QuorumDowntime.Round(time.Second), sc.FaultDomains, sc.UpgradeDomains)
+	}
+	if u := res.Upgrade; u != nil {
+		fmt.Printf("upgrade: %s, %d/%d domains, %d stalls, %d replicas evacuated (%d stranded)\n",
+			u.State, u.DomainsCompleted, u.DomainsTotal, u.Stalls, u.Evacuated, u.Stranded)
+	}
 	if st := res.Chaos; st != nil {
 		fmt.Printf("chaos: %d faults scheduled, %d crashes (%d skipped), %d restarts, %d domain outages\n",
 			st.FaultsScheduled, st.Crashes, st.CrashesSkipped, st.Restarts, st.DomainOutages)
@@ -258,8 +296,10 @@ func main() {
 // carries net/http/pprof's handlers; /metrics exposes a Prometheus-text
 // snapshot of the metrics registry and /journal/tail the most recent
 // journal entries (both read concurrently with the running simulation —
-// the registry and the journal writer are mutex-guarded).
-func serveDebug(addr string, sess *obs.Session, jw *journal.Writer) {
+// the registry and the journal writer are mutex-guarded). The returned
+// server carries header/idle timeouts so a stuck or idle client cannot
+// pin a connection forever, and is shut down gracefully on interrupt.
+func serveDebug(addr string, sess *obs.Session, jw *journal.Writer) *http.Server {
 	http.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		if sess.Obs == nil {
 			http.Error(w, "metrics registry not enabled", http.StatusNotFound)
@@ -283,10 +323,16 @@ func serveDebug(addr string, sess *obs.Session, jw *journal.Writer) {
 			_ = enc.Encode(e)
 		}
 	})
+	srv := &http.Server{
+		Addr:              addr,
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       60 * time.Second,
+	}
 	go func() {
-		if err := http.ListenAndServe(addr, nil); err != nil {
+		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 			fmt.Fprintln(os.Stderr, "totosim: -http:", err)
 		}
 	}()
 	fmt.Fprintf(os.Stderr, "totosim: debug endpoint on http://%s (pprof at /debug/pprof, /metrics, /journal/tail)\n", addr)
+	return srv
 }

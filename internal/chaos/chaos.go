@@ -69,8 +69,12 @@ type Fault struct {
 	Count int `json:"count,omitempty"`
 	// Node names the target node; empty picks a random up node.
 	Node string `json:"node,omitempty"`
-	// Domain and Domains define a fault domain: nodes whose index modulo
-	// Domains equals Domain fail together.
+	// Domain and Domains define a fault domain for domain-outage faults.
+	// With Domains >= 2 the legacy index-modulo grouping applies: nodes
+	// whose index modulo Domains equals Domain fail together. With
+	// Domains omitted (0) the fault targets the cluster's real topology
+	// instead: every node whose FaultDomain coordinate equals Domain
+	// crashes together, which requires a topology-enabled cluster.
 	Domain  int `json:"domain,omitempty"`
 	Domains int `json:"domains,omitempty"`
 	// Rate is the per-operation failure probability in (0, 1].
@@ -117,10 +121,13 @@ func (s *Spec) Validate() error {
 				return fail("flap needs positive downMinutes and upMinutes")
 			}
 		case KindDomainOutage:
-			if f.Domains < 2 {
-				return fail("domain outage needs domains >= 2")
+			// Domains == 0 selects topology mode (the node's FaultDomain
+			// coordinate); whether the cluster actually has a topology is
+			// checked by NewEngine, which can see the cluster.
+			if f.Domains != 0 && f.Domains < 2 {
+				return fail("domain outage needs domains >= 2 (or omitted for topology mode)")
 			}
-			if f.Domain < 0 || f.Domain >= f.Domains {
+			if f.Domain < 0 || (f.Domains != 0 && f.Domain >= f.Domains) {
 				return fail("domain %d out of range [0, %d)", f.Domain, f.Domains)
 			}
 			if f.DownMinutes < 0 {
@@ -196,6 +203,19 @@ type Engine struct {
 func NewEngine(clock *simclock.Clock, cluster *fabric.Cluster, spec *Spec, o *obs.Obs) (*Engine, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
+	}
+	// Topology-mode domain outages need the cluster's real coordinates.
+	for i, f := range spec.Faults {
+		if f.Kind != KindDomainOutage || f.Domains != 0 {
+			continue
+		}
+		if !cluster.TopologyEnabled() {
+			return nil, fmt.Errorf("chaos: fault %d (%s): topology mode (domains omitted) requires a cluster with configured fault domains", i, f.Kind)
+		}
+		if f.Domain >= cluster.FaultDomainCount() {
+			return nil, fmt.Errorf("chaos: fault %d (%s): domain %d out of range [0, %d)",
+				i, f.Kind, f.Domain, cluster.FaultDomainCount())
+		}
 	}
 	root := rng.New(spec.Seed)
 	return &Engine{
@@ -453,15 +473,28 @@ func (e *Engine) flap(now time.Time, named string, count int, down, up time.Dura
 // domainOutage crashes every node in the fault domain together (a rack
 // or power domain failing), restarting them all after down. Nodes
 // already down are left alone. The guard never lets the outage reduce
-// the cluster below two up nodes.
+// the cluster below two up nodes. With domains >= 2 membership is the
+// legacy index-modulo grouping (kept byte-identical — the golden chaos
+// event stream schedules one); with domains == 0 it is the node's real
+// FaultDomain coordinate.
 func (e *Engine) domainOutage(now time.Time, domain, domains int, down time.Duration) {
 	e.stats.DomainOutages++
+	member := func(i int, n *fabric.Node) bool {
+		if domains > 0 {
+			return i%domains == domain
+		}
+		return n.FaultDomain == domain
+	}
+	detail := fmt.Sprintf("domain-%d/%d", domain, domains)
+	if domains == 0 {
+		detail = fmt.Sprintf("fault-domain-%d", domain)
+	}
 	// One injection annotation covers the whole domain: every node crash
 	// in the outage (and every restart) chains to the same root.
-	seq, restore := e.inject(KindDomainOutage, fmt.Sprintf("domain-%d/%d", domain, domains))
+	seq, restore := e.inject(KindDomainOutage, detail)
 	var crashed []string
 	for i, n := range e.cluster.Nodes() {
-		if i%domains != domain || !n.Up() {
+		if !member(i, n) || !n.Up() {
 			continue
 		}
 		if e.cluster.UpNodes() <= 2 {

@@ -272,3 +272,54 @@ func TestNamedNodeCrash(t *testing.T) {
 		t.Errorf("crashes=%d skipped=%d, want 1 crash and 1 skip for the unknown node", s.Crashes, s.CrashesSkipped)
 	}
 }
+
+func TestTopologyDomainOutage(t *testing.T) {
+	clock := simclock.New(testStart)
+	cfg := fabric.DefaultConfig()
+	cfg.FaultDomains = 4
+	c := fabric.NewCluster(clock, 8, testCapacity(), cfg)
+	c.Start()
+	spec := &Spec{Seed: 1, Faults: []Fault{
+		// Domains omitted: topology mode, crash the nodes whose
+		// FaultDomain coordinate is 1 (nodes 1 and 5 of 8 striped over 4).
+		{Kind: KindDomainOutage, AtHours: 1, Domain: 1, DownMinutes: 60},
+	}}
+	eng, err := NewEngine(clock, c, spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Start(testStart)
+	clock.RunUntil(testStart.Add(90 * time.Minute))
+	for _, n := range c.Nodes() {
+		if want := n.FaultDomain != 1; n.Up() != want {
+			t.Errorf("node %s (fd %d): up=%v during fault-domain-1 outage", n.ID, n.FaultDomain, n.Up())
+		}
+	}
+	clock.RunUntil(testStart.Add(3 * time.Hour))
+	c.Stop()
+	for _, n := range c.Nodes() {
+		if !n.Up() {
+			t.Errorf("node %s still down after restore", n.ID)
+		}
+	}
+	if s := eng.Stats(); s.DomainOutages != 1 || s.Crashes != 2 {
+		t.Errorf("stats %+v, want 1 domain outage crashing 2 nodes", s)
+	}
+}
+
+func TestTopologyDomainOutageRequiresTopology(t *testing.T) {
+	clock := simclock.New(testStart)
+	c := fabric.NewCluster(clock, 4, testCapacity(), fabric.DefaultConfig())
+	spec := &Spec{Faults: []Fault{{Kind: KindDomainOutage, AtHours: 1, Domain: 0}}}
+	if _, err := NewEngine(clock, c, spec, nil); err == nil || !strings.Contains(err.Error(), "topology mode") {
+		t.Errorf("topology-mode fault on a topology-free cluster: err=%v", err)
+	}
+
+	cfg := fabric.DefaultConfig()
+	cfg.FaultDomains = 3
+	ct := fabric.NewCluster(simclock.New(testStart), 4, testCapacity(), cfg)
+	bad := &Spec{Faults: []Fault{{Kind: KindDomainOutage, AtHours: 1, Domain: 3}}}
+	if _, err := NewEngine(clock, ct, bad, nil); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Errorf("topology-mode fault with domain beyond the cluster's domains: err=%v", err)
+	}
+}

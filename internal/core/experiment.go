@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"toto/internal/chaos"
+	"toto/internal/fabric"
 	"toto/internal/models"
 	"toto/internal/obs"
 	"toto/internal/revenue"
@@ -76,6 +77,16 @@ type Result struct {
 	// PlannedDowntime sums unavailability from planned movements across
 	// all databases — reported alongside revenue, never penalized.
 	PlannedDowntime time.Duration
+	// QuorumLosses and QuorumDowntime summarize replica-set availability
+	// under the configured topology: windows where a replica set lost its
+	// primary or a majority of replicas to down nodes. The downtime flows
+	// into per-database SLA penalties; these totals surface it. Zero
+	// unless the scenario configures fault domains.
+	QuorumLosses   int
+	QuorumDowntime time.Duration
+	// Upgrade is the domain-upgrade walker's final status (nil for runs
+	// without a DomainUpgrade).
+	Upgrade *fabric.UpgradeStatus
 	// Chaos summarizes the injected fault schedule and the continuous
 	// invariant checker's verdict (nil for runs without a chaos spec).
 	Chaos *chaos.Stats
@@ -166,6 +177,11 @@ func Run(s *Scenario) (*Result, error) {
 		}
 		o.Cluster.ScheduleRollingUpgrade(measureStart.Add(s.UpgradeStart), perNode)
 	}
+	if s.DomainUpgrade != nil {
+		if _, err := o.Cluster.ScheduleDomainUpgrade(measureStart.Add(s.DomainUpgrade.Start), s.DomainUpgrade.Spec); err != nil {
+			return nil, fmt.Errorf("core: schedule domain upgrade: %w", err)
+		}
+	}
 	var chaosEng *chaos.Engine
 	if s.Chaos != nil {
 		chaosEng, err = chaos.NewEngine(o.Clock, o.Cluster, s.Chaos, s.Obs)
@@ -204,6 +220,9 @@ func Run(s *Scenario) (*Result, error) {
 		res.FailedOverCores[f.Edition] += f.MovedCores
 	}
 
+	// Close any quorum-loss windows still open at run end so their
+	// downtime is priced before scoring. No-op without a topology.
+	o.Cluster.CloseQuorumWindows()
 	if err := scoreRevenue(o, res, measureStart); err != nil {
 		return nil, err
 	}
@@ -231,6 +250,11 @@ func Run(s *Scenario) (*Result, error) {
 	res.PlannedMoves = o.Cluster.PlannedMoveCount()
 	for _, svc := range o.Cluster.Services() {
 		res.PlannedDowntime += svc.PlannedDowntime
+	}
+	res.QuorumLosses = o.Cluster.QuorumLossCount()
+	res.QuorumDowntime = o.Cluster.QuorumDowntime()
+	if st, ok := o.Cluster.UpgradeStatus(); ok {
+		res.Upgrade = &st
 	}
 	if chaosEng != nil {
 		st := chaosEng.Stats()

@@ -62,6 +62,8 @@ func NewOrchestrator(s *Scenario) (*Orchestrator, error) {
 	cfg.Density = s.Density
 	cfg.PLBSeed = s.Seeds.PLB
 	cfg.Obs = s.Obs
+	cfg.FaultDomains = s.FaultDomains
+	cfg.UpgradeDomains = s.UpgradeDomains
 	if s.PLBScanInterval > 0 {
 		cfg.ScanInterval = s.PLBScanInterval
 	}

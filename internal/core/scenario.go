@@ -91,6 +91,19 @@ type Scenario struct {
 	// MemoryReportInterval spaces memory reports (0 disables them even
 	// if a memory model exists).
 	MemoryReportInterval time.Duration
+	// FaultDomains and UpgradeDomains, when positive, stripe the
+	// cluster's nodes over that many fault and upgrade domains (node i
+	// lands in domain i % count): placement spreads each replica set
+	// across fault domains, quorum availability is tracked per replica
+	// set, and the domain-upgrade walker walks upgrade domains. Zero
+	// (the default) leaves the fabric's topology machinery fully inert.
+	FaultDomains   int
+	UpgradeDomains int
+	// DomainUpgrade, when set, schedules the upgrade-domain walker
+	// (safety-checked drain of one upgrade domain at a time; see
+	// fabric.ScheduleDomainUpgrade) beginning Start after the measured
+	// window opens. Zero Spec fields take fabric defaults.
+	DomainUpgrade *DomainUpgrade
 	// UpgradeStart, when positive, schedules a rolling maintenance
 	// upgrade (§5.2's "internal code upgrades"; the Figure 11 outliers)
 	// beginning this long after the measured window starts; each node is
@@ -125,6 +138,15 @@ type Scenario struct {
 	SeriesStore *timeseries.Store
 }
 
+// DomainUpgrade schedules a safety-checked rolling upgrade over the
+// cluster's upgrade domains during the measured window.
+type DomainUpgrade struct {
+	// Start is the delay after the measured window opens.
+	Start time.Duration
+	// Spec configures the walker; zero fields take fabric defaults.
+	Spec fabric.UpgradeSpec
+}
+
 // Validate checks scenario consistency.
 func (s *Scenario) Validate() error {
 	if s.Nodes < 1 {
@@ -141,6 +163,12 @@ func (s *Scenario) Validate() error {
 	}
 	if s.Catalog == nil {
 		return fmt.Errorf("core: scenario %q has no SLO catalog", s.Name)
+	}
+	if s.FaultDomains < 0 || s.UpgradeDomains < 0 {
+		return fmt.Errorf("core: scenario %q has negative domain counts", s.Name)
+	}
+	if s.DomainUpgrade != nil && s.DomainUpgrade.Start < 0 {
+		return fmt.Errorf("core: scenario %q has negative upgrade start", s.Name)
 	}
 	if s.Chaos != nil {
 		if err := s.Chaos.Validate(); err != nil {

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"toto/internal/chaos"
+	"toto/internal/fabric"
 	"toto/internal/models"
 	"toto/internal/slo"
 )
@@ -38,6 +39,23 @@ type ScenarioFile struct {
 	// upgrade this many hours into the measured window.
 	UpgradeStartHours   float64 `json:"upgradeStartHours"`
 	UpgradePerNodeHours float64 `json:"upgradePerNodeHours"`
+	// Topology stripes the nodes over fault and upgrade domains; zero
+	// counts leave the topology machinery inert.
+	Topology struct {
+		FaultDomains   int `json:"faultDomains"`
+		UpgradeDomains int `json:"upgradeDomains"`
+	} `json:"topology"`
+	// Upgrade, when set, schedules the safety-checked domain-upgrade
+	// walker this many hours into the measured window. Omitted pacing
+	// fields take the fabric defaults (20m per domain, 10m retry, 12h
+	// timeout, 10% headroom).
+	Upgrade *struct {
+		StartHours       float64 `json:"startHours"`
+		PerDomainMinutes float64 `json:"perDomainMinutes"`
+		RetryMinutes     float64 `json:"retryMinutes"`
+		TimeoutHours     float64 `json:"timeoutHours"`
+		Headroom         float64 `json:"headroom"`
+	} `json:"upgrade"`
 	// Chaos optionally attaches a deterministic fault schedule to the
 	// measured window (see internal/chaos for the schema).
 	Chaos *chaos.Spec `json:"chaos"`
@@ -55,6 +73,13 @@ func ParseScenarioFile(data []byte) (*ScenarioFile, error) {
 	}
 	if sf.Density < 0 || sf.Days < 0 || sf.BootstrapHours < 0 {
 		return nil, fmt.Errorf("core: scenario file has negative durations or density")
+	}
+	if sf.Topology.FaultDomains < 0 || sf.Topology.UpgradeDomains < 0 {
+		return nil, fmt.Errorf("core: scenario file has negative domain counts")
+	}
+	if sf.Upgrade != nil && (sf.Upgrade.StartHours < 0 || sf.Upgrade.PerDomainMinutes < 0 ||
+		sf.Upgrade.RetryMinutes < 0 || sf.Upgrade.TimeoutHours < 0 || sf.Upgrade.Headroom < 0) {
+		return nil, fmt.Errorf("core: scenario file has negative upgrade parameters")
 	}
 	if sf.Chaos != nil {
 		if err := sf.Chaos.Validate(); err != nil {
@@ -109,6 +134,19 @@ func (sf *ScenarioFile) Build(set *models.ModelSet) *Scenario {
 		sc.UpgradeStart = time.Duration(sf.UpgradeStartHours * float64(time.Hour))
 		if sf.UpgradePerNodeHours > 0 {
 			sc.UpgradePerNode = time.Duration(sf.UpgradePerNodeHours * float64(time.Hour))
+		}
+	}
+	sc.FaultDomains = sf.Topology.FaultDomains
+	sc.UpgradeDomains = sf.Topology.UpgradeDomains
+	if sf.Upgrade != nil {
+		sc.DomainUpgrade = &DomainUpgrade{
+			Start: time.Duration(sf.Upgrade.StartHours * float64(time.Hour)),
+			Spec: fabric.UpgradeSpec{
+				PerDomain:        time.Duration(sf.Upgrade.PerDomainMinutes * float64(time.Minute)),
+				RetryInterval:    time.Duration(sf.Upgrade.RetryMinutes * float64(time.Minute)),
+				Timeout:          time.Duration(sf.Upgrade.TimeoutHours * float64(time.Hour)),
+				CapacityHeadroom: sf.Upgrade.Headroom,
+			},
 		}
 	}
 	sc.Chaos = sf.Chaos

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"os"
+	"testing"
+
+	"toto/internal/fabric"
+)
+
+// TestUpgradeWeekScenario runs the repository's
+// scenarios/upgrade-week.json — a fixed-seed week on a topology-enabled
+// cluster (4 fault × 3 upgrade domains) that walks a safety-checked
+// domain upgrade through a background fault schedule — and asserts the
+// robustness property the upgrade orchestrator promises: the walk
+// completes, no replica set ever loses quorum, and the continuous
+// invariant checker (which validates capacity and fault-domain
+// distinctness after every event) finds nothing.
+func TestUpgradeWeekScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("7-day upgrade scenario")
+	}
+	data, err := os.ReadFile("../../scenarios/upgrade-week.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf, err := ParseScenarioFile(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := sf.Build(DefaultModels().Set)
+	if sc.FaultDomains != 4 || sc.UpgradeDomains != 3 {
+		t.Fatalf("topology not parsed: %d/%d", sc.FaultDomains, sc.UpgradeDomains)
+	}
+	if sc.DomainUpgrade == nil {
+		t.Fatal("upgrade section not parsed")
+	}
+
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	t.Logf("quorum: %d losses, %v downtime", res.QuorumLosses, res.QuorumDowntime)
+	if res.Upgrade != nil {
+		t.Logf("upgrade: %+v", *res.Upgrade)
+	}
+	if res.Chaos != nil {
+		t.Logf("chaos: %+v", *res.Chaos)
+	}
+
+	// Zero quorum losses: the safety checks must keep every replica set's
+	// primary-plus-majority on up nodes through drains and crashes alike.
+	if res.QuorumLosses != 0 || res.QuorumDowntime != 0 {
+		t.Errorf("quorum broken: %d losses, %v downtime", res.QuorumLosses, res.QuorumDowntime)
+	}
+	// The walk must finish all three upgrade domains despite the faults.
+	if res.Upgrade == nil {
+		t.Fatal("no upgrade status in result")
+	}
+	if res.Upgrade.State != fabric.UpgradeCompleted {
+		t.Errorf("upgrade state %s, want completed (%+v)", res.Upgrade.State, *res.Upgrade)
+	}
+	if res.Upgrade.DomainsCompleted != 3 {
+		t.Errorf("completed %d domains, want 3", res.Upgrade.DomainsCompleted)
+	}
+	if res.Upgrade.Evacuated == 0 {
+		t.Error("upgrade drains moved no replicas")
+	}
+	// Zero capacity violations: the continuous checker ran and stayed
+	// silent for the whole week.
+	if res.Chaos == nil || res.Chaos.InvariantChecks == 0 {
+		t.Fatal("continuous invariant checker never ran")
+	}
+	if len(res.Chaos.InvariantViolations) != 0 {
+		t.Fatalf("invariant violations: %v", res.Chaos.InvariantViolations)
+	}
+	// The fault schedule demonstrably fired alongside the walk.
+	if res.Chaos.Crashes == 0 || res.Chaos.Restarts == 0 {
+		t.Errorf("fault schedule did not fire: %+v", *res.Chaos)
+	}
+	// Drains are planned movements: the walk must not inflate the
+	// unplanned-failover KPI on its own.
+	if res.PlannedMoves == 0 {
+		t.Error("no planned moves recorded for three domain drains")
+	}
+}

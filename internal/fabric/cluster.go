@@ -97,10 +97,30 @@ type Config struct {
 	// ScanInterval*DegradationFactor of downtime to every database whose
 	// primary sits on the violating node. 0 disables the accounting.
 	DegradationFactor float64
+	// FaultDomains stripes the cluster's nodes across correlated-failure
+	// groups (racks, power feeds): node i lands in fault domain
+	// i % FaultDomains. 0 (the default) keeps every node in its own
+	// domain and disables all topology-aware logic — placement, quorum
+	// tracking, and the domain-spread cost term — so default runs are
+	// bit-identical to a topology-free fabric.
+	FaultDomains int
+	// UpgradeDomains stripes the nodes across rolling-upgrade batches the
+	// same way. 0 gives every node its own upgrade domain (the upgrade
+	// walker then proceeds node at a time).
+	UpgradeDomains int
+	// DomainSpreadWeight scales the fault-domain crowding term added to
+	// the PLB's node cost while a topology is configured: each node pays
+	// weight * (domain aggregate core utilization)^2, biasing placement
+	// toward emptier domains. Ignored when FaultDomains is 0.
+	DomainSpreadWeight float64
 	// Obs is the observability layer the cluster instruments itself with.
 	// nil (the default) disables all tracing and metrics at zero cost.
 	Obs *obs.Obs
 }
+
+// topologyEnabled reports whether fault-domain coordinates were
+// configured; every topology-aware code path is gated on it.
+func (cfg *Config) topologyEnabled() bool { return cfg.FaultDomains > 0 }
 
 // DefaultConfig returns production-like PLB settings.
 func DefaultConfig() Config {
@@ -123,6 +143,7 @@ func DefaultConfig() Config {
 		QuarantineWindow:          30 * time.Minute,
 		LoadStalenessTimeout:      time.Hour,
 		DegradationFactor:         0.20,
+		DomainSpreadWeight:        0.25,
 		BalancingEnabled:          false,
 		BalanceSpread:             0.35,
 	}
@@ -164,6 +185,15 @@ type Cluster struct {
 	buildAborts   int
 	reportsLost   int
 
+	// quorum-availability state (see topology.go); only maintained while
+	// a topology is configured.
+	quorumLosses   int
+	quorumDowntime time.Duration
+
+	// upgrade is the in-flight domain-upgrade walker, nil otherwise (see
+	// upgrade.go).
+	upgrade *UpgradeWalker
+
 	obs     *obs.Obs
 	metrics clusterMetrics
 }
@@ -195,6 +225,13 @@ type clusterMetrics struct {
 	staleSkips         *obs.Counter   // fabric.stale_node_skips
 	degradedMode       *obs.Gauge     // fabric.degraded_mode
 	backoffSeconds     *obs.Histogram // fabric.backoff_seconds
+
+	// topology / upgrade instruments (see topology.go, upgrade.go)
+	quorumLosses    *obs.Counter   // fabric.quorum_losses
+	quorumSeconds   *obs.Histogram // fabric.quorum_loss_seconds
+	upgradeDomains  *obs.Counter   // fabric.upgrade_domains_completed
+	upgradeStalls   *obs.Counter   // fabric.upgrade_stalls
+	upgradeRollback *obs.Counter   // fabric.upgrade_rollbacks
 }
 
 func newClusterMetrics(o *obs.Obs) clusterMetrics {
@@ -221,6 +258,12 @@ func newClusterMetrics(o *obs.Obs) clusterMetrics {
 		staleSkips:         o.Counter("fabric.stale_node_skips"),
 		degradedMode:       o.Gauge("fabric.degraded_mode"),
 		backoffSeconds:     o.Histogram("fabric.backoff_seconds"),
+
+		quorumLosses:    o.Counter("fabric.quorum_losses"),
+		quorumSeconds:   o.Histogram("fabric.quorum_loss_seconds"),
+		upgradeDomains:  o.Counter("fabric.upgrade_domains_completed"),
+		upgradeStalls:   o.Counter("fabric.upgrade_stalls"),
+		upgradeRollback: o.Counter("fabric.upgrade_rollbacks"),
 	}
 }
 
@@ -253,6 +296,15 @@ func NewCluster(clock *simclock.Clock, nodeCount int, nodeCapacity map[MetricNam
 		// A fresh node counts as freshly reported, so the degraded-mode
 		// staleness check measures from cluster start, not the zero time.
 		n.lastReport = clock.Now()
+		// Topology coordinates: one node per domain unless configured,
+		// index-striped otherwise (node-0 → FD 0, node-1 → FD 1, ...).
+		n.FaultDomain, n.UpgradeDomain = i, i
+		if cfg.FaultDomains > 0 {
+			n.FaultDomain = i % cfg.FaultDomains
+		}
+		if cfg.UpgradeDomains > 0 {
+			n.UpgradeDomain = i % cfg.UpgradeDomains
+		}
 		c.nodes = append(c.nodes, n)
 	}
 	c.plb = newPLB(c, cfg)
@@ -504,6 +556,11 @@ func (c *Cluster) DropService(name string) error {
 			r.Node.detach(r)
 		}
 	}
+	// A service dropped mid-outage still pays for the unavailability it
+	// saw up to the drop.
+	if !svc.quorumLostAt.IsZero() {
+		c.closeQuorumWindow(svc, nil, c.clock.Now(), "dropped")
+	}
 	svc.Dropped = c.clock.Now()
 	c.emit(Event{Kind: EventServiceDropped, Time: c.clock.Now(), Service: svc})
 	return nil
@@ -611,6 +668,10 @@ func (c *Cluster) ForceMove(id ReplicaID, targetNode string) error {
 		if other != r && other.Node == target {
 			return fmt.Errorf("fabric: node %s already hosts a replica of %s", targetNode, id.Service)
 		}
+	}
+	if c.plb.fdConflict(target, r.service, r) {
+		return fmt.Errorf("fabric: fault domain %d of node %s already hosts a replica of %s",
+			target.FaultDomain, targetNode, id.Service)
 	}
 	prev := c.BeginCause(CauseForced, c.Annotate(Annotation{
 		Kind: "force-move", Replica: id, Node: targetNode,

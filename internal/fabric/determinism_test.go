@@ -335,3 +335,133 @@ func TestEventStreamDeterminism(t *testing.T) {
 		t.Error("different PLB seeds produced identical event streams")
 	}
 }
+
+// goldenTopologyEventStreamHash locks the topology-enabled variant of
+// the simulated day: the same workload on the same 12 nodes, but striped
+// over 4 fault domains and 3 upgrade domains, with the safety-checked
+// domain-upgrade walker replacing the legacy node-at-a-time rolling
+// upgrade. It pins the fault-domain-spread placement, the domain-aware
+// target/victim choices, quorum tracking, and the whole upgrade walk.
+// Recorded once; update only for a deliberate behaviour change.
+const goldenTopologyEventStreamHash = "68a1101531b72f62adff0cfd4ed7fba26acf557df39799a9529fed22c9505fe0"
+
+// goldenTopologyEventStreamCount is the event count behind the hash.
+const goldenTopologyEventStreamCount = 562
+
+// simulatedDayTopologyEventStream is simulatedDayEventStream with the
+// cluster topology enabled and a domain upgrade walked across the
+// afternoon.
+func simulatedDayTopologyEventStream(plbSeed uint64) (hash string, events int, kinds map[EventKind]int) {
+	clock := simclock.New(testStart)
+	cfg := DefaultConfig()
+	cfg.PLBSeed = plbSeed
+	cfg.BalancingEnabled = true
+	cfg.BalanceSpread = 0.45
+	cfg.FaultDomains = 4
+	cfg.UpgradeDomains = 3
+	// 120% density, the paper's elevated-density setting: the workload
+	// reserves ~64% of physical cores, and the drained domain's load only
+	// fits on the surviving 8 nodes with the over-reservation allowance —
+	// at 100% the walk (correctly) stalls on the headroom check all day.
+	cfg.Density = 1.2
+	c := NewCluster(clock, 12, testCapacity(), cfg)
+
+	h := sha256.New()
+	kinds = make(map[EventKind]int)
+	c.Subscribe(func(ev Event) {
+		events++
+		kinds[ev.Kind]++
+		svcName := ""
+		if ev.Service != nil {
+			svcName = ev.Service.Name
+		}
+		metric := ""
+		if ev.Kind == EventFailover || ev.Kind == EventBalanceMove {
+			metric = ev.Metric.String()
+		}
+		fmt.Fprintf(h, "%d|%d|%s|%s/%d|%s|%s|%s|%g|%g|%d|%d\n",
+			ev.Kind, ev.Time.UnixNano(), svcName,
+			ev.Replica.Service, ev.Replica.Index, ev.From, ev.To,
+			metric, ev.MovedCores, ev.MovedDiskGB,
+			ev.BuildDuration.Nanoseconds(), ev.Downtime.Nanoseconds())
+	})
+	c.Start()
+
+	src := rng.New(0x70707)
+	for i := 0; i < 140; i++ {
+		name := fmt.Sprintf("db-%d", i)
+		var labels map[string]string
+		if i%10 == 3 {
+			labels = map[string]string{"growth": "fast"}
+		}
+		if i%4 == 0 {
+			loads := map[MetricName]float64{MetricDiskGB: src.UniformRange(150, 700)}
+			_, _ = c.CreateServiceWithLoads(name, 4, 2, labels, loads)
+		} else {
+			loads := map[MetricName]float64{MetricDiskGB: src.UniformRange(5, 150)}
+			_, _ = c.CreateServiceWithLoads(name, 1, 2, labels, loads)
+		}
+	}
+
+	hour := 0
+	clock.Every(time.Hour, func(time.Time) {
+		hour++
+		_, _ = c.CreateService(fmt.Sprintf("churn-%d", hour), 1, 2, nil)
+		if hour%5 == 0 {
+			_ = c.DropService(fmt.Sprintf("db-%d", hour))
+		}
+		if hour%7 == 0 {
+			_, _ = c.ResizeService(fmt.Sprintf("db-%d", hour+20), float64(2+hour%6))
+		}
+	})
+	clock.Every(20*time.Minute, func(time.Time) {
+		for _, svc := range c.LiveServices() {
+			grow := 2.2
+			if svc.Labels["growth"] == "fast" {
+				grow = 80.0
+			}
+			for _, rep := range svc.Replicas {
+				_ = c.ReportLoad(rep.ID, MetricDiskGB, rep.Load(MetricDiskGB)+src.UniformRange(0, grow))
+				_ = c.ReportLoad(rep.ID, MetricMemoryGB, src.UniformRange(1, 8))
+			}
+		}
+	})
+	// The safety-checked domain upgrade across the afternoon, instead of
+	// the legacy rolling upgrade. The workload reserves ~64% of cluster
+	// cores, leaving less than 10% headroom on the 8 surviving nodes once
+	// a 4-node domain's load lands on them — so the golden run uses a 2%
+	// requirement, enough to exercise the check without stalling the walk
+	// for the whole day.
+	_, _ = c.ScheduleDomainUpgrade(testStart.Add(10*time.Hour), UpgradeSpec{
+		PerDomain:        30 * time.Minute,
+		RetryInterval:    10 * time.Minute,
+		Timeout:          12 * time.Hour,
+		CapacityHeadroom: 0.02,
+	})
+
+	clock.RunUntil(testStart.Add(24 * time.Hour))
+	c.CloseQuorumWindows()
+	c.Stop()
+	return hex.EncodeToString(h.Sum(nil)), events, kinds
+}
+
+// TestTopologyEventStreamDeterminism locks the topology-enabled run:
+// identical twice in-process, matching the recorded golden hash, with
+// the domain upgrade completing inside the day.
+func TestTopologyEventStreamDeterminism(t *testing.T) {
+	hash1, n1, kinds1 := simulatedDayTopologyEventStream(7)
+	hash2, n2, _ := simulatedDayTopologyEventStream(7)
+	if hash1 != hash2 || n1 != n2 {
+		t.Fatalf("topology event stream not deterministic: %s (%d) vs %s (%d)", hash1, n1, hash2, n2)
+	}
+	if kinds1[EventUpgradeStarted] != 1 || kinds1[EventUpgradeCompleted] != 1 {
+		t.Errorf("upgrade did not run to completion: %v", kinds1)
+	}
+	if kinds1[EventUpgradeDomainCompleted] != 3 {
+		t.Errorf("completed %d upgrade domains, want 3", kinds1[EventUpgradeDomainCompleted])
+	}
+	if hash1 != goldenTopologyEventStreamHash {
+		t.Errorf("topology event stream diverged from golden:\n got %s (%d events)\nwant %s (%d events)",
+			hash1, n1, goldenTopologyEventStreamHash, goldenTopologyEventStreamCount)
+	}
+}

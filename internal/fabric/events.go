@@ -37,6 +37,16 @@ func (k EventKind) String() string {
 		return "node-crashed"
 	case EventNodeRestarted:
 		return "node-restarted"
+	case EventUpgradeStarted:
+		return "upgrade-started"
+	case EventUpgradeDomainStarted:
+		return "upgrade-domain-started"
+	case EventUpgradeDomainCompleted:
+		return "upgrade-domain-completed"
+	case EventUpgradeCompleted:
+		return "upgrade-completed"
+	case EventUpgradeRolledBack:
+		return "upgrade-rolled-back"
 	default:
 		return "unknown"
 	}
@@ -66,6 +76,9 @@ const (
 	CauseChaos
 	// CauseForced marks administrative ForceMove relocations.
 	CauseForced
+	// CauseUpgrade marks drains and restores the rolling-upgrade walker
+	// performs while walking upgrade domains.
+	CauseUpgrade
 )
 
 // String returns the cause name.
@@ -85,6 +98,8 @@ func (k CauseKind) String() string {
 		return "chaos"
 	case CauseForced:
 		return "forced"
+	case CauseUpgrade:
+		return "upgrade"
 	default:
 		return "none"
 	}
@@ -93,7 +108,7 @@ func (k CauseKind) String() string {
 // ParseCause converts a cause's display name back to its kind — the
 // inverse of String, for journal readers.
 func ParseCause(s string) (CauseKind, bool) {
-	for k := CauseNone; k <= CauseForced; k++ {
+	for k := CauseNone; k <= CauseUpgrade; k++ {
 		if k.String() == s {
 			return k, true
 		}

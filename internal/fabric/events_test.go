@@ -16,6 +16,11 @@ func TestEventKindString(t *testing.T) {
 		{EventBalanceMove, "balance-move"},
 		{EventNodeDown, "node-down"},
 		{EventNodeUp, "node-up"},
+		{EventUpgradeStarted, "upgrade-started"},
+		{EventUpgradeDomainStarted, "upgrade-domain-started"},
+		{EventUpgradeDomainCompleted, "upgrade-domain-completed"},
+		{EventUpgradeCompleted, "upgrade-completed"},
+		{EventUpgradeRolledBack, "upgrade-rolled-back"},
 		{EventKind(-1), "unknown"},
 		{EventKind(42), "unknown"},
 		{EventKind(999), "unknown"},
@@ -30,5 +35,19 @@ func TestEventKindString(t *testing.T) {
 	if EventNodeDown != 100 || EventNodeUp != 101 {
 		t.Errorf("maintenance kinds renumbered: EventNodeDown=%d EventNodeUp=%d, want 100/101",
 			int(EventNodeDown), int(EventNodeUp))
+	}
+	if EventUpgradeStarted != 110 {
+		t.Errorf("upgrade kinds renumbered: EventUpgradeStarted=%d, want 110", int(EventUpgradeStarted))
+	}
+	// ParseCause must round-trip every cause, including CauseUpgrade at
+	// the end of the range.
+	for k := CauseNone; k <= CauseUpgrade; k++ {
+		got, ok := ParseCause(k.String())
+		if k == CauseNone {
+			continue // "none" is the fallback label, not parseable back
+		}
+		if !ok || got != k {
+			t.Errorf("ParseCause(%q) = %v/%v", k.String(), got, ok)
+		}
 	}
 }

@@ -78,6 +78,31 @@ func BenchmarkPlace(b *testing.B) {
 	}
 }
 
+// BenchmarkPlaceWithTopology is BenchmarkPlace with the cluster striped
+// over 4 fault domains and 3 upgrade domains: the same annealing search
+// paying the domain-spread cost term and the fault-domain-distinctness
+// constraint on every candidate. Its delta against BenchmarkPlace is the
+// whole price of topology awareness; the budget is <10% (DESIGN.md §13).
+func BenchmarkPlaceWithTopology(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.FaultDomains = 4
+	cfg.UpgradeDomains = 3
+	c := NewCluster(simclock.New(testStart), 14, testCapacity(), cfg)
+	for i := 0; i < 100; i++ {
+		if _, err := c.CreateService(fmt.Sprintf("seed-%d", i), 1, 4, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	svc := newService("probe", 4, 2, nil, testStart)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := c.plb.search(svc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkScan measures the steady-state violation scan alone (no
 // violations present) — the walk over all nodes × metrics the PLB pays
 // every 5 simulated minutes.

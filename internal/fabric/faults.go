@@ -206,6 +206,11 @@ func (c *Cluster) CrashNode(id string) (evacuated, stranded int, err error) {
 		c.obs.Log().Warnf("fabric: crash of %s stranded %d replicas", id, stranded)
 	}
 	c.emit(Event{Kind: EventNodeCrashed, Time: now, From: id})
+	// Sampled after the evacuation inside the crash bracket: replicas
+	// that found targets are back up, so only genuinely stranded ones
+	// count against quorum, and a quorum-lost annotation chains to the
+	// crash. No-op without a configured topology.
+	c.updateQuorum(n)
 	c.EndCause(prevCause)
 	sp.End(obs.Int("evacuated", evacuated), obs.Int("stranded", stranded))
 	return evacuated, stranded, nil
@@ -234,6 +239,9 @@ func (c *Cluster) RestartNode(id string) error {
 	c.obs.Instant("fabric.node_restart", obs.Str("node", id),
 		obs.Bool("quarantined", n.Quarantined(now)))
 	c.emit(Event{Kind: EventNodeRestarted, Time: now, To: id})
+	// Stranded replicas are reachable again; close any quorum-loss
+	// windows the crash opened. No-op without a configured topology.
+	c.updateQuorum(n)
 	return nil
 }
 

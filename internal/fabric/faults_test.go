@@ -1,6 +1,8 @@
 package fabric
 
 import (
+	"fmt"
+	"strings"
 	"testing"
 	"time"
 
@@ -471,5 +473,95 @@ func TestMaintenanceDrainStaysPlanned(t *testing.T) {
 	}
 	if svc.TotalDowntime() != svc.Downtime+svc.PlannedDowntime {
 		t.Error("TotalDowntime does not sum the split")
+	}
+}
+
+// TestCrashEvacuationNoHeadroomStrands pins the escalation path of
+// evacuateNode when no surviving node has capacity headroom for the
+// victims: the replicas strand on the dead node (reported, not silently
+// dropped), nothing moves, and a later restart recovers them in place.
+func TestCrashEvacuationNoHeadroomStrands(t *testing.T) {
+	c := newTestCluster(t, 3, 1.0)
+	// One 60-of-64-core service per node: no node can absorb another.
+	for i := 0; i < 3; i++ {
+		if _, err := c.CreateService(fmt.Sprintf("big-%d", i), 1, 60, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	svc, ok := c.Service("big-2")
+	if !ok {
+		t.Fatal("big-2 missing")
+	}
+	victim := svc.Replicas[0].Node
+	evac, stranded, err := c.CrashNode(victim.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evac != 0 || stranded != 1 {
+		t.Fatalf("evacuated=%d stranded=%d, want 0 moved and 1 stranded", evac, stranded)
+	}
+	if svc.Replicas[0].Node != victim {
+		t.Fatalf("stranded replica relocated to %s", svc.Replicas[0].Node.ID)
+	}
+	if svc.Primary().Node.Up() {
+		t.Error("stranded primary's node reports up")
+	}
+	if err := c.RestartNode(victim.ID); err != nil {
+		t.Fatal(err)
+	}
+	if !svc.Primary().Node.Up() {
+		t.Error("service not recovered after the stranding node restarted")
+	}
+}
+
+// TestDrainRacingCrashOnSameNode pins the maintenance/chaos collision on
+// one node: whichever path takes the node down first wins, the loser
+// gets a clean "already down" error instead of double-evacuating, and
+// the cluster stays consistent.
+func TestDrainRacingCrashOnSameNode(t *testing.T) {
+	c := newTestCluster(t, 6, 1.0)
+	clock := c.clock
+	for i := 0; i < 8; i++ {
+		if _, err := c.CreateService(fmt.Sprintf("db-%d", i), 1, 4, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	at := testStart.Add(time.Hour)
+	var drainErr, crashErr error
+	// Same simulated instant; callbacks fire in scheduling order, so the
+	// drain lands first and the chaos crash hits an already-down node.
+	clock.At(at, func(time.Time) { _, _, drainErr = c.SetNodeDown("node-0") })
+	clock.At(at, func(time.Time) { _, _, crashErr = c.CrashNode("node-0") })
+	// And the mirror race on another node: crash first, drain second.
+	clock.At(at, func(time.Time) { _, _, crashErr2 := c.CrashNode("node-1"); _ = crashErr2 })
+	var drainErr2 error
+	clock.At(at, func(time.Time) { _, _, drainErr2 = c.SetNodeDown("node-1") })
+	clock.RunUntil(at.Add(time.Minute))
+
+	if drainErr != nil {
+		t.Errorf("drain (first mover): %v", drainErr)
+	}
+	if crashErr == nil || !strings.Contains(crashErr.Error(), "already down") {
+		t.Errorf("crash after drain: err = %v, want already-down", crashErr)
+	}
+	if drainErr2 == nil || !strings.Contains(drainErr2.Error(), "already down") {
+		t.Errorf("drain after crash: err = %v, want already-down", drainErr2)
+	}
+	if err := CheckInvariants(c); err != nil {
+		t.Errorf("invariants after the race: %v", err)
+	}
+	// Every replica evacuated exactly once: none left on the down nodes.
+	for _, svc := range c.LiveServices() {
+		for _, r := range svc.Replicas {
+			if r.Node.ID == "node-0" || r.Node.ID == "node-1" {
+				t.Errorf("replica %s left on down node %s", r.ID, r.Node.ID)
+			}
+		}
+	}
+	if err := c.SetNodeUp("node-0"); err != nil {
+		t.Errorf("restoring drained node: %v", err)
+	}
+	if err := c.RestartNode("node-1"); err != nil {
+		t.Errorf("restarting crashed node: %v", err)
 	}
 }

@@ -23,7 +23,11 @@ import (
 //  5. every live replica is attached to the node it points at
 //     (crashed nodes may still host stranded replicas — that is
 //     consistent state, not a violation);
-//  6. the Naming Service's global version bounds every entry version.
+//  6. the Naming Service's global version bounds every entry version;
+//  7. with a configured topology, replicas of one service sit in
+//     distinct fault domains whenever the cluster has enough domains to
+//     make that feasible (the placement paths treat domain spread as a
+//     hard constraint, so any overlap is a bookkeeping bug).
 func CheckInvariants(c *Cluster) error {
 	for _, n := range c.nodes {
 		for _, m := range AllMetrics() {
@@ -50,6 +54,10 @@ func CheckInvariants(c *Cluster) error {
 			for _, other := range svc.Replicas[:i] {
 				if other.Node == r.Node {
 					return fmt.Errorf("service %s has two replicas on %s", svc.Name, r.Node.ID)
+				}
+				if c.domainSpreadRequired(svc) && other.Node.FaultDomain == r.Node.FaultDomain {
+					return fmt.Errorf("service %s has two replicas in fault domain %d (%s, %s)",
+						svc.Name, r.Node.FaultDomain, other.Node.ID, r.Node.ID)
 				}
 			}
 			if r.Node.replicas[r.ID] != r {

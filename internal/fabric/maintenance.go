@@ -54,6 +54,10 @@ func (c *Cluster) SetNodeDown(id string) (evacuated, stranded int, err error) {
 		c.obs.Log().Warnf("fabric: drain of %s stranded %d replicas", id, stranded)
 	}
 	c.emit(Event{Kind: EventNodeDown, Time: c.clock.Now(), From: id})
+	// A drain that strands replicas can break a replica set's quorum;
+	// sampled inside the cause bracket so a quorum-lost annotation chains
+	// to the drain decision. No-op without a configured topology.
+	c.updateQuorum(n)
 	c.EndCause(prevCause)
 	sp.End(obs.Int("evacuated", evacuated), obs.Int("stranded", stranded))
 	return evacuated, stranded, nil
@@ -72,6 +76,9 @@ func (c *Cluster) SetNodeUp(id string) error {
 	n.crashed = false
 	c.obs.Instant("fabric.node_up", obs.Str("node", id))
 	c.emit(Event{Kind: EventNodeUp, Time: c.clock.Now(), To: id})
+	// Stranded replicas are reachable again; close any quorum-loss
+	// windows the outage opened. No-op without a configured topology.
+	c.updateQuorum(n)
 	return nil
 }
 

@@ -42,6 +42,18 @@ type plb struct {
 	costMemo []float64 // per-node assignment cost, indexed by Node.idx
 	victims  []*Replica
 	targets  []*Node
+
+	// Fault-domain scratch, used only while a topology is configured
+	// (Config.FaultDomains > 0): fdUtil holds each domain's aggregate
+	// core utilization for the domain-spread cost term (refreshed by
+	// refreshDomainUtil at the top of search/chooseTarget; loads cannot
+	// change within either call, so the memoized node costs stay valid),
+	// fdCap its aggregate capacity, fdUsed the per-search "domain already
+	// assigned" set. All stay nil on topology-free clusters, so the
+	// default hot path neither allocates nor branches into domain logic.
+	fdUtil []float64
+	fdCap  []float64
+	fdUsed []bool
 }
 
 func newPLB(c *Cluster, cfg Config) *plb {
@@ -102,7 +114,73 @@ func (p *plb) nodeCost(n *Node, extra *LoadVector) float64 {
 			cost += 100 * over * over
 		}
 	}
+	// Domain-spread term: nodes in crowded fault domains cost more, so
+	// the annealer and chooseTarget drift load toward emptier domains —
+	// a correlated outage then takes out less of any one replica set's
+	// neighborhood. fdUtil is only ever non-empty on topology-enabled
+	// clusters, keeping the default cost function bit-identical.
+	if len(p.fdUtil) > 0 {
+		u := p.fdUtil[n.FaultDomain]
+		cost += p.cfg.DomainSpreadWeight * u * u
+	}
 	return cost
+}
+
+// refreshDomainUtil recomputes each fault domain's aggregate core
+// utilization (domain load over domain density-scaled capacity). No-op
+// unless a topology is configured and the spread term has weight.
+func (p *plb) refreshDomainUtil() {
+	fds := p.cfg.FaultDomains
+	if fds <= 0 || p.cfg.DomainSpreadWeight <= 0 {
+		return
+	}
+	if cap(p.fdUtil) < fds {
+		p.fdUtil = make([]float64, fds)
+		p.fdCap = make([]float64, fds)
+	}
+	p.fdUtil = p.fdUtil[:fds]
+	p.fdCap = p.fdCap[:fds]
+	for i := range p.fdUtil {
+		p.fdUtil[i], p.fdCap[i] = 0, 0
+	}
+	for _, n := range p.cluster.nodes {
+		p.fdUtil[n.FaultDomain] += n.Load(MetricCores)
+		p.fdCap[n.FaultDomain] += p.caps[n.idx][MetricCores]
+	}
+	for i := range p.fdUtil {
+		if p.fdCap[i] > 0 {
+			p.fdUtil[i] /= p.fdCap[i]
+		}
+	}
+}
+
+// fdUsedScratch returns the cleared per-domain "already assigned" set.
+func (p *plb) fdUsedScratch() []bool {
+	fds := p.cfg.FaultDomains
+	if cap(p.fdUsed) < fds {
+		p.fdUsed = make([]bool, fds)
+	}
+	p.fdUsed = p.fdUsed[:fds]
+	for i := range p.fdUsed {
+		p.fdUsed[i] = false
+	}
+	return p.fdUsed
+}
+
+// fdConflict reports whether putting replica r of svc on node n would
+// place two of the service's replicas into one fault domain while the
+// spread constraint binds. Like node anti-affinity this is a hard rule:
+// callers must never fall back to a conflicting node.
+func (p *plb) fdConflict(n *Node, svc *Service, r *Replica) bool {
+	if !p.cluster.domainSpreadRequired(svc) {
+		return false
+	}
+	for _, other := range svc.Replicas {
+		if other != r && other.Node != nil && other.Node != n && other.Node.FaultDomain == n.FaultDomain {
+			return true
+		}
+	}
+	return false
 }
 
 // place chooses a node for each replica of svc. It returns the chosen
@@ -175,8 +253,34 @@ func (p *plb) search(svc *Service) (chosen []*Node, feasibleCount, iterations in
 		}
 		return strings.Compare(a.ID, b.ID)
 	})
-	assign := append(p.assign[:0], feasible[:svc.ReplicaCount]...)
-	p.assign = assign
+	// Fault-domain anti-affinity: with a configured topology wide enough
+	// to give every replica its own domain, domain distinctness is a hard
+	// constraint exactly like node distinctness — the greedy seed skips
+	// already-used domains and placement fails outright if no
+	// domain-distinct assignment exists.
+	spread := p.cluster.domainSpreadRequired(svc)
+	var assign []*Node
+	if spread {
+		assign = p.assign[:0]
+		used := p.fdUsedScratch()
+		for _, n := range feasible {
+			if used[n.FaultDomain] {
+				continue
+			}
+			used[n.FaultDomain] = true
+			assign = append(assign, n)
+			if len(assign) == svc.ReplicaCount {
+				break
+			}
+		}
+		p.assign = assign
+		if len(assign) < svc.ReplicaCount {
+			return nil, len(feasible), 0, ErrInsufficientCores
+		}
+	} else {
+		assign = append(p.assign[:0], feasible[:svc.ReplicaCount]...)
+		p.assign = assign
+	}
 
 	if p.cfg.GreedyPlacement || len(feasible) == svc.ReplicaCount {
 		return assign, len(feasible), 0, nil
@@ -192,6 +296,7 @@ func (p *plb) search(svc *Service) (chosen []*Node, feasibleCount, iterations in
 		}
 	}
 	// Memoize the cost of adding the replica to each feasible node.
+	p.refreshDomainUtil()
 	if cap(p.costMemo) < len(nodes) {
 		p.costMemo = make([]float64, len(nodes))
 	}
@@ -216,7 +321,8 @@ func (p *plb) search(svc *Service) (chosen []*Node, feasibleCount, iterations in
 		iterations++
 		ri := p.rnd.Intn(len(assign))
 		cand := feasible[p.rnd.Intn(len(feasible))]
-		if cand == assign[ri] || assignmentUses(assign, cand, ri) {
+		if cand == assign[ri] || assignmentUses(assign, cand, ri) ||
+			(spread && assignmentUsesFD(assign, cand.FaultDomain, ri)) {
 			temp *= p.cfg.SACooling
 			continue
 		}
@@ -243,6 +349,17 @@ func (p *plb) search(svc *Service) (chosen []*Node, feasibleCount, iterations in
 func assignmentUses(a []*Node, n *Node, except int) bool {
 	for i, an := range a {
 		if i != except && an == n {
+			return true
+		}
+	}
+	return false
+}
+
+// assignmentUsesFD reports whether fault domain fd is already used by a
+// replica other than the one at index except.
+func assignmentUsesFD(a []*Node, fd int, except int) bool {
+	for i, an := range a {
+		if i != except && an.FaultDomain == fd {
 			return true
 		}
 	}
@@ -439,6 +556,19 @@ func (p *plb) chooseVictim(n *Node, m MetricName) *Replica {
 	if p.rnd.Float64() < 0.10 {
 		return replicas[p.rnd.Intn(len(replicas))]
 	}
+	// Domain-aware victim choice: under a configured topology the
+	// fault-domain constraint can make the cheapest clearing replica
+	// immovable (every legal domain already hosts a sibling), which would
+	// waste the violation's move budget on a victim with no target.
+	// Prefer the cheapest clearing replica that has at least one legal
+	// landing node; fall through to the plain heuristic when none does.
+	if p.cfg.topologyEnabled() {
+		for _, r := range replicas {
+			if r.Loads[m] >= over && p.victimMovable(r) {
+				return r
+			}
+		}
+	}
 	for _, r := range replicas {
 		if r.Loads[m] >= over {
 			return r
@@ -452,6 +582,24 @@ func (p *plb) chooseVictim(n *Node, m MetricName) *Replica {
 		}
 	}
 	return best
+}
+
+// victimMovable reports whether at least one node could legally accept
+// replica r under the placement rules, ignoring capacity: up, out of
+// quarantine, no sibling aboard, and in a fault domain the anti-affinity
+// constraint allows.
+func (p *plb) victimMovable(r *Replica) bool {
+	now := p.cluster.clock.Now()
+	for _, n := range p.cluster.nodes {
+		if n == r.Node || !n.Up() || n.Quarantined(now) {
+			continue
+		}
+		if p.hostsServiceReplica(n, r.service, r) || p.fdConflict(n, r.service, r) {
+			continue
+		}
+		return true
+	}
+	return false
 }
 
 // fitsOn reports whether adding extra to node n stays within every
@@ -472,6 +620,7 @@ func (p *plb) fitsOn(n *Node, extra *LoadVector) bool {
 func (p *plb) chooseTarget(r *Replica) *Node {
 	svc := r.service
 	p.ensureCaps()
+	p.refreshDomainUtil()
 	extra := LoadVector{
 		MetricCores:    svc.ReservedCoresPerReplica,
 		MetricDiskGB:   r.Loads[MetricDiskGB],
@@ -483,7 +632,11 @@ func (p *plb) chooseTarget(r *Replica) *Node {
 		if n == r.Node || !n.Up() || n.Quarantined(now) {
 			continue
 		}
-		if p.hostsServiceReplica(n, svc, r) {
+		// The fault-domain constraint is as hard as node anti-affinity:
+		// no fallback onto a conflicting domain — a replica with no
+		// conflict-free target strands, same as under cluster-wide
+		// capacity pressure.
+		if p.hostsServiceReplica(n, svc, r) || p.fdConflict(n, svc, r) {
 			continue
 		}
 		if p.fitsOn(n, &extra) {
@@ -561,7 +714,7 @@ func (p *plb) balance(now time.Time) {
 		if r.Loads[MetricDiskGB] <= 0 {
 			continue
 		}
-		if p.hostsServiceReplica(lo, r.service, r) {
+		if p.hostsServiceReplica(lo, r.service, r) || p.fdConflict(lo, r.service, r) {
 			continue
 		}
 		extra := LoadVector{

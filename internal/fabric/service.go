@@ -124,6 +124,33 @@ type Service struct {
 	// quantity counts capacity moved, so each moved replica contributes
 	// its per-replica core reservation).
 	FailedOverCores float64
+	// QuorumLosses counts the times the service's replica set lost write
+	// quorum (primary plus a majority of replicas on up nodes). Only
+	// maintained while the cluster has a configured topology.
+	QuorumLosses int
+	// quorumLostAt is when the current quorum-loss window opened; zero
+	// while the service holds quorum. The window's duration is added to
+	// Downtime (SLA-priced) when quorum is regained.
+	quorumLostAt time.Time
+}
+
+// QuorumAvailable reports whether the replica set can serve writes: its
+// primary sits on an up node and a majority of its replicas (primary
+// included) do too. Single-replica services reduce to "the primary's
+// node is up".
+func (s *Service) QuorumAvailable() bool {
+	up := 0
+	primaryUp := false
+	for _, r := range s.Replicas {
+		if r.Node == nil || !r.Node.Up() {
+			continue
+		}
+		up++
+		if r.Role == Primary {
+			primaryUp = true
+		}
+	}
+	return primaryUp && up >= s.ReplicaCount/2+1
 }
 
 // newService builds a service and its replica shells (unplaced).
@@ -200,6 +227,14 @@ type Node struct {
 	// density factor (§5: density 110% reserves more cores than logical
 	// capacity).
 	Capacity LoadVector
+
+	// FaultDomain and UpgradeDomain are the node's topology coordinates:
+	// which correlated-failure group (rack, power feed) and which
+	// rolling-upgrade batch it belongs to. With no configured topology
+	// every node is its own domain (both equal idx), which keeps all
+	// domain-aware logic inert.
+	FaultDomain   int
+	UpgradeDomain int
 
 	// idx is the node's position in the cluster's node slice; the PLB
 	// uses it to key per-node scratch tables (cached capacities, cost

@@ -1,0 +1,132 @@
+package fabric
+
+// Cluster topology: fault-domain / upgrade-domain coordinates and the
+// quorum-availability tracking that depends on them.
+//
+// Everything here follows the faults.go inertness pattern: with no
+// configured topology (Config.FaultDomains == 0, the default) every node
+// is its own domain, TopologyEnabled is false, and none of this code
+// consumes randomness, emits events, or changes a decision — both golden
+// event-stream hashes are provably untouched.
+
+import (
+	"fmt"
+	"time"
+)
+
+// TopologyEnabled reports whether the cluster was built with configured
+// fault-domain coordinates. All domain-aware placement, the quorum
+// tracker, and the domain-spread cost term are gated on it.
+func (c *Cluster) TopologyEnabled() bool { return c.cfg.topologyEnabled() }
+
+// FaultDomainCount returns the number of distinct fault domains the
+// cluster's nodes occupy.
+func (c *Cluster) FaultDomainCount() int {
+	if c.cfg.FaultDomains > 0 && c.cfg.FaultDomains < len(c.nodes) {
+		return c.cfg.FaultDomains
+	}
+	return len(c.nodes)
+}
+
+// UpgradeDomainCount returns the number of distinct upgrade domains.
+func (c *Cluster) UpgradeDomainCount() int {
+	if c.cfg.UpgradeDomains > 0 && c.cfg.UpgradeDomains < len(c.nodes) {
+		return c.cfg.UpgradeDomains
+	}
+	return len(c.nodes)
+}
+
+// domainSpreadRequired reports whether the fault-domain anti-affinity
+// constraint binds for this service: the topology is configured and has
+// enough distinct domains to give every replica its own. Services wider
+// than the domain count fall back to plain node anti-affinity.
+func (c *Cluster) domainSpreadRequired(svc *Service) bool {
+	return c.cfg.topologyEnabled() && svc.ReplicaCount <= c.FaultDomainCount()
+}
+
+// QuorumLossCount returns how many quorum-loss windows the cluster has
+// opened across all services.
+func (c *Cluster) QuorumLossCount() int { return c.quorumLosses }
+
+// QuorumDowntime returns the total duration of all closed quorum-loss
+// windows.
+func (c *Cluster) QuorumDowntime() time.Duration { return c.quorumDowntime }
+
+// updateQuorum re-evaluates every live service's quorum availability
+// after a node lifecycle transition (drain, crash, restart). trigger is
+// the node whose transition prompted the sweep; it labels the loss
+// annotation with the fault domain the outage hit. A window that closes
+// adds its duration to the service's SLA-priced Downtime — a replica set
+// that cannot form a write quorum is down for its customer, which is
+// exactly the unavailability the paper's modeled-adjusted-revenue
+// penalty prices.
+//
+// Only called while a topology is configured: quorum semantics are part
+// of the topology model, and gating here keeps default runs byte-stable.
+func (c *Cluster) updateQuorum(trigger *Node) {
+	if !c.cfg.topologyEnabled() {
+		return
+	}
+	now := c.clock.Now()
+	for _, svc := range c.LiveServices() {
+		c.updateServiceQuorum(svc, trigger, now)
+	}
+}
+
+func (c *Cluster) updateServiceQuorum(svc *Service, trigger *Node, now time.Time) {
+	available := svc.QuorumAvailable()
+	switch {
+	case !available && svc.quorumLostAt.IsZero():
+		svc.quorumLostAt = now
+		svc.QuorumLosses++
+		c.quorumLosses++
+		c.metrics.quorumLosses.Inc()
+		if len(c.annListeners) > 0 {
+			a := Annotation{Kind: "quorum-lost", Service: svc.Name}
+			if trigger != nil {
+				a.Node = trigger.ID
+				a.Detail = fmt.Sprintf("fd-%d", trigger.FaultDomain)
+			}
+			c.Annotate(a)
+		}
+	case available && !svc.quorumLostAt.IsZero():
+		c.closeQuorumWindow(svc, trigger, now, "")
+	}
+}
+
+// closeQuorumWindow ends an open quorum-loss window at now, charging its
+// duration to the service's unplanned downtime.
+func (c *Cluster) closeQuorumWindow(svc *Service, trigger *Node, now time.Time, detail string) {
+	window := now.Sub(svc.quorumLostAt)
+	svc.quorumLostAt = time.Time{}
+	svc.Downtime += window
+	c.quorumDowntime += window
+	c.metrics.quorumSeconds.Observe(window.Seconds())
+	c.metrics.downtimeSeconds.Observe(window.Seconds())
+	if len(c.annListeners) > 0 {
+		a := Annotation{Kind: "quorum-restored", Service: svc.Name, Value: window.Seconds(), Detail: detail}
+		if trigger != nil {
+			a.Node = trigger.ID
+			if detail == "" {
+				a.Detail = fmt.Sprintf("fd-%d", trigger.FaultDomain)
+			}
+		}
+		c.Annotate(a)
+	}
+}
+
+// CloseQuorumWindows force-closes every still-open quorum-loss window at
+// the current simulated time. The experiment driver calls it when the
+// measured window ends so an outage running into the end of the run is
+// still priced.
+func (c *Cluster) CloseQuorumWindows() {
+	if !c.cfg.topologyEnabled() {
+		return
+	}
+	now := c.clock.Now()
+	for _, svc := range c.LiveServices() {
+		if !svc.quorumLostAt.IsZero() {
+			c.closeQuorumWindow(svc, nil, now, "run-end")
+		}
+	}
+}

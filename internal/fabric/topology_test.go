@@ -1,0 +1,258 @@
+package fabric
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"toto/internal/simclock"
+)
+
+// newTopoCluster builds a cluster with nodes striped over fd fault
+// domains and ud upgrade domains.
+func newTopoCluster(t *testing.T, nodes, fd, ud int) *Cluster {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.FaultDomains = fd
+	cfg.UpgradeDomains = ud
+	return NewCluster(simclock.New(testStart), nodes, testCapacity(), cfg)
+}
+
+func TestDefaultTopologyIsInert(t *testing.T) {
+	c := newTestCluster(t, 4, 1.0)
+	if c.TopologyEnabled() {
+		t.Error("default config reports topology enabled")
+	}
+	// One node per domain: the degenerate topology every pre-topology
+	// test and golden hash runs under.
+	for i, n := range c.Nodes() {
+		if n.FaultDomain != i || n.UpgradeDomain != i {
+			t.Errorf("node %d: fd=%d ud=%d, want %d/%d", i, n.FaultDomain, n.UpgradeDomain, i, i)
+		}
+	}
+	if got := c.FaultDomainCount(); got != 4 {
+		t.Errorf("FaultDomainCount = %d", got)
+	}
+	if c.QuorumLossCount() != 0 || c.QuorumDowntime() != 0 {
+		t.Error("quorum accounting active without topology")
+	}
+}
+
+func TestTopologyStripesNodes(t *testing.T) {
+	c := newTopoCluster(t, 8, 4, 3)
+	if !c.TopologyEnabled() {
+		t.Fatal("topology not enabled")
+	}
+	for i, n := range c.Nodes() {
+		if n.FaultDomain != i%4 || n.UpgradeDomain != i%3 {
+			t.Errorf("node %d: fd=%d ud=%d, want %d/%d", i, n.FaultDomain, n.UpgradeDomain, i%4, i%3)
+		}
+	}
+	if c.FaultDomainCount() != 4 || c.UpgradeDomainCount() != 3 {
+		t.Errorf("domain counts %d/%d, want 4/3", c.FaultDomainCount(), c.UpgradeDomainCount())
+	}
+}
+
+func TestFaultDomainDistinctPlacement(t *testing.T) {
+	// 8 nodes over 4 fault domains: every replica set that fits must
+	// spread across distinct domains, and the invariant must hold.
+	c := newTopoCluster(t, 8, 4, 4)
+	for i := 0; i < 6; i++ {
+		svc, err := c.CreateService("bc-"+string(rune('a'+i)), 3, 4, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := map[int]bool{}
+		for _, r := range svc.Replicas {
+			if seen[r.Node.FaultDomain] {
+				t.Fatalf("%s: two replicas in fault domain %d", svc.Name, r.Node.FaultDomain)
+			}
+			seen[r.Node.FaultDomain] = true
+		}
+	}
+	if err := CheckInvariants(c); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFaultDomainConflictRejectsForceMove(t *testing.T) {
+	c := newTopoCluster(t, 4, 2, 2)
+	svc, err := c.CreateService("db", 2, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r0, r1 := svc.Replicas[0], svc.Replicas[1]
+	if r0.Node.FaultDomain == r1.Node.FaultDomain {
+		t.Fatalf("placement put both replicas in fault domain %d", r0.Node.FaultDomain)
+	}
+	// The other node in r1's fault domain (4 nodes over 2 domains).
+	var sibling *Node
+	for _, n := range c.Nodes() {
+		if n != r1.Node && n.FaultDomain == r1.Node.FaultDomain {
+			sibling = n
+		}
+	}
+	err = c.ForceMove(r0.ID, sibling.ID)
+	if err == nil || !strings.Contains(err.Error(), "fault domain") {
+		t.Fatalf("ForceMove into a sibling fault domain: err = %v", err)
+	}
+}
+
+func TestCrashEvacuationKeepsDomainsDistinct(t *testing.T) {
+	c := newTopoCluster(t, 8, 4, 4)
+	for i := 0; i < 4; i++ {
+		if _, err := c.CreateService("bc-"+string(rune('a'+i)), 3, 4, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := c.CrashNode("node-1"); err != nil {
+		t.Fatal(err)
+	}
+	for _, svc := range c.LiveServices() {
+		seen := map[int]bool{}
+		for _, r := range svc.Replicas {
+			if !r.Node.Up() {
+				continue
+			}
+			if seen[r.Node.FaultDomain] {
+				t.Fatalf("%s: evacuation doubled up fault domain %d", svc.Name, r.Node.FaultDomain)
+			}
+			seen[r.Node.FaultDomain] = true
+		}
+	}
+}
+
+// TestQuorumWindowTracksDowntime walks one full quorum-loss window: a
+// 3-replica service on a 3-node cluster with no evacuation headroom
+// loses two secondaries (quorum gone), regains one (quorum back), and
+// the window's duration lands in both the service's penalized downtime
+// and the cluster totals.
+func TestQuorumWindowTracksDowntime(t *testing.T) {
+	c := newTopoCluster(t, 3, 3, 3)
+	clock := c.clock
+	// 40 of 64 cores per node: no node can absorb a second replica, so
+	// crashes strand instead of evacuating.
+	svc, err := c.CreateService("db", 3, 40, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var secondaries []string
+	for _, r := range svc.Replicas {
+		if r.Role != Primary {
+			secondaries = append(secondaries, r.Node.ID)
+		}
+	}
+	if _, _, err := c.CrashNode(secondaries[0]); err != nil {
+		t.Fatal(err)
+	}
+	if !svc.QuorumAvailable() {
+		t.Fatal("quorum lost with 2 of 3 replicas up")
+	}
+	if c.QuorumLossCount() != 0 {
+		t.Fatal("loss counted while quorum held")
+	}
+	clock.RunUntil(testStart.Add(time.Hour))
+	if _, _, err := c.CrashNode(secondaries[1]); err != nil {
+		t.Fatal(err)
+	}
+	if svc.QuorumAvailable() {
+		t.Fatal("quorum held with 1 of 3 replicas up")
+	}
+	if c.QuorumLossCount() != 1 {
+		t.Fatalf("QuorumLossCount = %d, want 1", c.QuorumLossCount())
+	}
+	before := svc.Downtime
+	clock.RunUntil(testStart.Add(3 * time.Hour))
+	if err := c.RestartNode(secondaries[0]); err != nil {
+		t.Fatal(err)
+	}
+	if !svc.QuorumAvailable() {
+		t.Fatal("quorum not restored after restart")
+	}
+	window := svc.Downtime - before
+	if window != 2*time.Hour {
+		t.Errorf("window downtime = %s, want 2h", window)
+	}
+	if c.QuorumDowntime() != 2*time.Hour {
+		t.Errorf("QuorumDowntime = %s, want 2h", c.QuorumDowntime())
+	}
+	if svc.QuorumLosses != 1 {
+		t.Errorf("svc.QuorumLosses = %d, want 1", svc.QuorumLosses)
+	}
+}
+
+// TestCloseQuorumWindowsFinalizesOpenWindows covers the run-end path: a
+// window still open when the run ends is closed and priced.
+func TestCloseQuorumWindowsFinalizesOpenWindows(t *testing.T) {
+	c := newTopoCluster(t, 3, 3, 3)
+	svc, err := c.CreateService("db", 3, 40, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range svc.Replicas {
+		if r.Role != Primary {
+			if _, _, err := c.CrashNode(r.Node.ID); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if c.QuorumLossCount() != 1 {
+		t.Fatalf("QuorumLossCount = %d, want 1", c.QuorumLossCount())
+	}
+	c.clock.RunUntil(testStart.Add(90 * time.Minute))
+	c.CloseQuorumWindows()
+	if svc.Downtime != 90*time.Minute {
+		t.Errorf("downtime = %s, want 90m", svc.Downtime)
+	}
+	// Closing twice must not double-count.
+	c.CloseQuorumWindows()
+	if svc.Downtime != 90*time.Minute {
+		t.Errorf("downtime after second close = %s", svc.Downtime)
+	}
+}
+
+func TestQuorumAnnotationsCarryDomains(t *testing.T) {
+	c := newTopoCluster(t, 3, 3, 3)
+	var anns []Annotation
+	c.SubscribeAnnotations(func(a Annotation) { anns = append(anns, a) })
+	svc, err := c.CreateService("db", 3, 40, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var secondaries []*Node
+	for _, r := range svc.Replicas {
+		if r.Role != Primary {
+			secondaries = append(secondaries, r.Node)
+		}
+	}
+	for _, n := range secondaries {
+		if _, _, err := c.CrashNode(n.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.clock.RunUntil(testStart.Add(time.Hour))
+	if err := c.RestartNode(secondaries[0].ID); err != nil {
+		t.Fatal(err)
+	}
+	var lost, restored *Annotation
+	for i := range anns {
+		switch anns[i].Kind {
+		case "quorum-lost":
+			lost = &anns[i]
+		case "quorum-restored":
+			restored = &anns[i]
+		}
+	}
+	if lost == nil || restored == nil {
+		t.Fatalf("lost=%v restored=%v", lost, restored)
+	}
+	if lost.Service != "db" || !strings.HasPrefix(lost.Detail, "fd-") {
+		t.Errorf("quorum-lost annotation %+v", lost)
+	}
+	if lost.CauseSeq == 0 {
+		t.Error("quorum-lost not chained to the triggering crash")
+	}
+	if restored.Value != (time.Hour).Seconds() {
+		t.Errorf("quorum-restored window = %gs, want 3600", restored.Value)
+	}
+}

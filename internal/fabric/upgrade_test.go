@@ -1,0 +1,209 @@
+package fabric
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// upgradeTestCluster builds a lightly loaded 12-node cluster over 4
+// fault and 3 upgrade domains. The counts are coprime so the domains are
+// orthogonal — each upgrade domain holds one node of every fault domain,
+// the realistic layout where draining a UD still leaves every FD with up
+// nodes for evacuation targets.
+func upgradeTestCluster(t *testing.T) *Cluster {
+	t.Helper()
+	c := newTopoCluster(t, 12, 4, 3)
+	for i := 0; i < 6; i++ {
+		if _, err := c.CreateService(fmt.Sprintf("db-%d", i), 3, 2, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c
+}
+
+func fastUpgradeSpec() UpgradeSpec {
+	return UpgradeSpec{
+		PerDomain:        10 * time.Minute,
+		RetryInterval:    5 * time.Minute,
+		Timeout:          6 * time.Hour,
+		CapacityHeadroom: 0.10,
+	}
+}
+
+func TestDomainUpgradeWalkCompletes(t *testing.T) {
+	c := upgradeTestCluster(t)
+	var kinds []EventKind
+	c.Subscribe(func(ev Event) {
+		if ev.Kind >= EventUpgradeStarted && ev.Kind <= EventUpgradeRolledBack {
+			kinds = append(kinds, ev.Kind)
+		}
+	})
+	u, err := c.ScheduleDomainUpgrade(testStart.Add(time.Hour), fastUpgradeSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.clock.RunUntil(testStart.Add(6 * time.Hour))
+
+	st := u.Status()
+	if st.State != UpgradeCompleted {
+		t.Fatalf("state = %s, want completed (status %+v)", st.State, st)
+	}
+	if st.DomainsCompleted != 3 || st.DomainsTotal != 3 {
+		t.Errorf("domains %d/%d, want 3/3", st.DomainsCompleted, st.DomainsTotal)
+	}
+	if st.Stalls != 0 || st.Stranded != 0 {
+		t.Errorf("stalls=%d stranded=%d, want 0/0", st.Stalls, st.Stranded)
+	}
+	for _, n := range c.Nodes() {
+		if !n.Up() {
+			t.Errorf("node %s left down after the walk", n.ID)
+		}
+	}
+	if c.QuorumLossCount() != 0 {
+		t.Errorf("walk caused %d quorum losses", c.QuorumLossCount())
+	}
+	// Lifecycle shape: started, 3× (domain-started, domain-completed),
+	// completed.
+	want := []EventKind{
+		EventUpgradeStarted,
+		EventUpgradeDomainStarted, EventUpgradeDomainCompleted,
+		EventUpgradeDomainStarted, EventUpgradeDomainCompleted,
+		EventUpgradeDomainStarted, EventUpgradeDomainCompleted,
+		EventUpgradeCompleted,
+	}
+	if len(kinds) != len(want) {
+		t.Fatalf("lifecycle events %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("lifecycle events %v, want %v", kinds, want)
+		}
+	}
+}
+
+func TestDomainUpgradeStallsOnCrashThenResumes(t *testing.T) {
+	c := upgradeTestCluster(t)
+	if _, err := c.ScheduleDomainUpgrade(testStart.Add(time.Hour), fastUpgradeSpec()); err != nil {
+		t.Fatal(err)
+	}
+	// Crash a node before the walk begins: the first safety check fails
+	// and the walk stalls instead of stacking a drain on the outage.
+	if _, _, err := c.CrashNode("node-5"); err != nil {
+		t.Fatal(err)
+	}
+	c.clock.RunUntil(testStart.Add(2 * time.Hour))
+	st, ok := c.UpgradeStatus()
+	if !ok || st.State != UpgradeRunning {
+		t.Fatalf("status %+v, want a running stalled walk", st)
+	}
+	if st.Stalls == 0 {
+		t.Fatal("no stalls recorded while a node is down")
+	}
+	if st.DomainsCompleted != 0 {
+		t.Fatalf("walk progressed %d domains past a down node", st.DomainsCompleted)
+	}
+	// Node returns: the walk resumes and completes.
+	if err := c.RestartNode("node-5"); err != nil {
+		t.Fatal(err)
+	}
+	c.clock.RunUntil(testStart.Add(8 * time.Hour))
+	st, _ = c.UpgradeStatus()
+	if st.State != UpgradeCompleted {
+		t.Fatalf("state = %s after node restart, want completed (%+v)", st.State, st)
+	}
+	if c.QuorumLossCount() != 0 {
+		t.Errorf("%d quorum losses during stalled upgrade", c.QuorumLossCount())
+	}
+}
+
+func TestDomainUpgradeTimeoutRollsBack(t *testing.T) {
+	c := upgradeTestCluster(t)
+	spec := fastUpgradeSpec()
+	spec.Timeout = time.Hour
+	u, err := c.ScheduleDomainUpgrade(testStart.Add(10*time.Minute), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A permanently down node stalls the walk until the timeout fires.
+	if _, _, err := c.CrashNode("node-0"); err != nil {
+		t.Fatal(err)
+	}
+	rolledBack := false
+	c.Subscribe(func(ev Event) {
+		if ev.Kind == EventUpgradeRolledBack {
+			rolledBack = true
+		}
+	})
+	c.clock.RunUntil(testStart.Add(3 * time.Hour))
+	if st := u.Status(); st.State != UpgradeRolledBack {
+		t.Fatalf("state = %s, want rolled-back (%+v)", st.State, st)
+	}
+	if !rolledBack {
+		t.Error("no EventUpgradeRolledBack emitted")
+	}
+	// Rollback restores only what the walker drained; the crashed node
+	// stays down (it is the fault, not part of the upgrade).
+	for _, n := range c.Nodes() {
+		if n.ID == "node-0" {
+			if n.Up() {
+				t.Error("rollback resurrected the crashed node")
+			}
+			continue
+		}
+		if !n.Up() {
+			t.Errorf("node %s left down after rollback", n.ID)
+		}
+	}
+	// The walk is over: a new upgrade may be scheduled.
+	if _, err := c.ScheduleDomainUpgrade(c.clock.Now().Add(time.Hour), fastUpgradeSpec()); err != nil {
+		t.Errorf("second upgrade after rollback: %v", err)
+	}
+}
+
+func TestDomainUpgradeRefusesConcurrentWalk(t *testing.T) {
+	c := upgradeTestCluster(t)
+	if _, err := c.ScheduleDomainUpgrade(testStart.Add(time.Hour), fastUpgradeSpec()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ScheduleDomainUpgrade(testStart.Add(2*time.Hour), fastUpgradeSpec()); err == nil {
+		t.Fatal("second concurrent upgrade accepted")
+	}
+}
+
+// TestDomainUpgradeCrashMidDrainNeverBreaksQuorum composes the walker
+// with a crash landing while a domain is down — the ISSUE's chaos
+// composition requirement: the walk must stall or roll back, never
+// violate quorum safety for services that held quorum going in.
+func TestDomainUpgradeCrashMidDrainNeverBreaksQuorum(t *testing.T) {
+	c := upgradeTestCluster(t)
+	u, err := c.ScheduleDomainUpgrade(testStart.Add(time.Hour), fastUpgradeSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fire a crash while the first domain is mid-upgrade (down window is
+	// [1h, 1h10m)); the victim is in a later domain.
+	c.clock.At(testStart.Add(time.Hour+5*time.Minute), func(time.Time) {
+		if _, _, err := c.CrashNode("node-4"); err != nil {
+			t.Errorf("crash: %v", err)
+		}
+	})
+	c.clock.RunUntil(testStart.Add(2 * time.Hour))
+	st := u.Status()
+	if st.State != UpgradeRunning || st.Stalls == 0 {
+		t.Fatalf("walk did not stall on the mid-drain crash: %+v", st)
+	}
+	if c.QuorumLossCount() != 0 {
+		t.Fatalf("quorum lost %d times under drain+crash", c.QuorumLossCount())
+	}
+	if err := c.RestartNode("node-4"); err != nil {
+		t.Fatal(err)
+	}
+	c.clock.RunUntil(testStart.Add(8 * time.Hour))
+	if st := u.Status(); st.State != UpgradeCompleted {
+		t.Fatalf("state = %s after recovery, want completed (%+v)", st.State, st)
+	}
+	if c.QuorumLossCount() != 0 {
+		t.Errorf("%d quorum losses across the composed run", c.QuorumLossCount())
+	}
+}

@@ -67,6 +67,11 @@ func classify(e *Entry) string {
 		return "balance"
 	case "force-move":
 		return "forced"
+	case "upgrade", "upgrade-domain", "upgrade-rollback",
+		"upgrade-safety-check", "upgrade-health-check":
+		return "upgrade"
+	case "quorum-lost", "quorum-restored":
+		return "quorum"
 	}
 	return ""
 }

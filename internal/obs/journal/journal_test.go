@@ -3,6 +3,7 @@ package journal_test
 import (
 	"bytes"
 	"fmt"
+	"strings"
 	"testing"
 	"time"
 
@@ -230,4 +231,101 @@ func kinds(chain []*journal.Entry) []string {
 		out[i] = e.Kind
 	}
 	return out
+}
+
+// TestQuorumWindowAttribution breaks a replica set's quorum with
+// chaos-style crashes and verifies the journal carries everything
+// totoscope's availability view needs: a quorum-lost annotation naming
+// the fault domain, a paired quorum-restored annotation carrying the
+// window length, and a causal chain that attributes the window to the
+// chaos injection rather than leaving it unexplained.
+func TestQuorumWindowAttribution(t *testing.T) {
+	var buf bytes.Buffer
+	w := journal.NewWriter(&buf)
+
+	clock := simclock.New(testStart)
+	cfg := fabric.DefaultConfig()
+	cfg.PLBSeed = 1
+	cfg.FaultDomains = 3
+	cfg.UpgradeDomains = 3
+	// Three 40-core replicas on three 64-core nodes: one per fault
+	// domain, and no node can absorb a second one, so a crash strands
+	// its replica instead of evacuating it.
+	c := fabric.NewCluster(clock, 3, testCapacity(), cfg)
+	w.Attach(c)
+	c.Start()
+	svc, err := c.CreateService("db", 3, 40, nil)
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	primary := svc.Primary().Node.ID
+	var secondaries []string
+	for _, n := range []string{"node-0", "node-1", "node-2"} {
+		if n != primary {
+			secondaries = append(secondaries, n)
+		}
+	}
+	clock.RunUntil(testStart.Add(time.Hour))
+
+	crash := func(node string) {
+		seq := c.Annotate(fabric.Annotation{Kind: "chaos-injection", Node: node, Detail: "node-crash"})
+		prev := c.BeginCause(fabric.CauseChaos, seq)
+		_, _, err := c.CrashNode(node)
+		c.EndCause(prev)
+		if err != nil {
+			t.Fatalf("crash %s: %v", node, err)
+		}
+	}
+	// First secondary down: quorum holds (primary + 1 of 2 secondaries).
+	crash(secondaries[0])
+	clock.RunUntil(testStart.Add(2 * time.Hour))
+	// Second secondary down: majority gone, the window opens.
+	crash(secondaries[1])
+	clock.RunUntil(testStart.Add(4 * time.Hour))
+	if err := c.RestartNode(secondaries[1]); err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	clock.RunUntil(testStart.Add(5 * time.Hour))
+	c.Stop()
+	if err := w.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	entries, err := journal.Read(&buf)
+	if err != nil {
+		t.Fatalf("read back: %v", err)
+	}
+	idx := journal.Index(entries)
+
+	var lost, restored *journal.Entry
+	for i := range entries {
+		e := &entries[i]
+		switch e.Kind {
+		case "quorum-lost":
+			if lost != nil {
+				t.Fatalf("second quorum-lost window at seq %d; want exactly one", e.Seq)
+			}
+			lost = e
+		case "quorum-restored":
+			restored = e
+		}
+	}
+	if lost == nil || restored == nil {
+		t.Fatalf("journal missing quorum window: lost=%v restored=%v", lost, restored)
+	}
+	if lost.Service != "db" || restored.Service != "db" {
+		t.Errorf("window on service %q/%q, want db", lost.Service, restored.Service)
+	}
+	if !strings.HasPrefix(lost.Detail, "fd-") {
+		t.Errorf("quorum-lost detail %q does not name a fault domain", lost.Detail)
+	}
+	if got := restored.Value; got != (2 * time.Hour).Seconds() {
+		t.Errorf("restored window length = %.0fs, want 7200s", got)
+	}
+	// The attribution totoscope prints: the window's chain must reach
+	// back to the chaos injection that crashed the second secondary.
+	if rc := journal.RootCause(idx, lost); rc != "chaos" {
+		t.Errorf("quorum window root cause = %q, want chaos (chain %v)",
+			rc, kinds(journal.Chain(idx, lost.Seq)))
+	}
 }

@@ -22,7 +22,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BENCHES='^(BenchmarkPlacement|BenchmarkGreedyPlacement|BenchmarkPlace|BenchmarkScan|BenchmarkPLBScan|BenchmarkReportLoad|BenchmarkNamingService|BenchmarkSimulatedDay|BenchmarkSimulatedDayWithFaults|BenchmarkSimulatedDayJournaled)$'
+BENCHES='^(BenchmarkPlacement|BenchmarkGreedyPlacement|BenchmarkPlace|BenchmarkPlaceWithTopology|BenchmarkScan|BenchmarkPLBScan|BenchmarkReportLoad|BenchmarkNamingService|BenchmarkSimulatedDay|BenchmarkSimulatedDayWithFaults|BenchmarkSimulatedDayJournaled)$'
 BENCHTIME="${BENCHTIME:-2s}"
 BENCHCOUNT="${BENCHCOUNT:-3}"
 OUT="${OUT:-BENCH_fabric.json}"
