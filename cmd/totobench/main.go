@@ -24,6 +24,7 @@ import (
 	"toto/internal/bench"
 	"toto/internal/core"
 	"toto/internal/obs"
+	"toto/internal/obs/alert"
 	"toto/internal/obs/journal"
 	"toto/internal/slo"
 )
@@ -41,6 +42,14 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "totobench:", err)
 		os.Exit(1)
+	}
+	var alertSpec *alert.Spec
+	if obsFlags.AlertsPath != "" {
+		alertSpec, err = alert.LoadSpec(obsFlags.AlertsPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "totobench:", err)
+			os.Exit(1)
+		}
 	}
 	// totobench drives many clusters per invocation, so a per-event
 	// journal is ill-defined here; -journal-out records the run's metadata
@@ -134,9 +143,19 @@ func main() {
 		cfg.Days = *days
 		cfg.Seeds = seeds
 		cfg.Obs = sess.Obs
+		cfg.Alerts = alertSpec
 		study, err := bench.RunStudy(cfg)
 		if err != nil {
 			fail(err)
+		}
+		if alertSpec != nil {
+			for i, res := range study.Results {
+				if a := res.Alerts; a != nil {
+					fmt.Fprintf(out, "alerts density-%.0f%%: %d fired, %d resolved\n",
+						cfg.Densities[i]*100, a.Fired, a.Resolved)
+				}
+			}
+			fmt.Fprintln(out)
 		}
 		if sel("tab2") {
 			study.PrintTab2(out)

@@ -1,0 +1,255 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"toto/internal/obs/journal"
+	tstats "toto/internal/stats"
+	"toto/internal/stats/changepoint"
+)
+
+// exitChanged is the gate's "regression detected" exit code: distinct
+// from 1 (error) so CI can branch on "changed" vs "gate itself broke".
+const exitChanged = 3
+
+// gateKPI is one key-performance-indicator extracted from a journal as
+// an hourly series over the run's measured window.
+type gateKPI struct {
+	name string
+	// extract returns the value one event contributes to its hour bucket
+	// (0 to skip the event).
+	extract func(e *journal.Entry) float64
+}
+
+var gateKPIs = []gateKPI{
+	{"failovers/h", func(e *journal.Entry) float64 {
+		if e.Kind == "failover" {
+			return 1
+		}
+		return 0
+	}},
+	{"planned-moves/h", func(e *journal.Entry) float64 {
+		if e.Kind == "balance-move" {
+			return 1
+		}
+		return 0
+	}},
+	{"downtime-s/h", func(e *journal.Entry) float64 {
+		if e.Kind == "failover" {
+			return float64(e.DowntimeNs) / float64(time.Second)
+		}
+		return 0
+	}},
+	{"moved-gb/h", func(e *journal.Entry) float64 {
+		return e.MovedDiskGB
+	}},
+}
+
+// kpiSignals is the per-KPI verdict: which of the three independent
+// detectors flagged a shift between the two runs.
+type kpiSignals struct {
+	KPI         string  `json:"kpi"`
+	SumA        float64 `json:"sumA"`
+	SumB        float64 `json:"sumB"`
+	ChangePoint bool    `json:"changePoint"`
+	// ChangeIndex is the detected shift's hour offset in the concatenated
+	// a+b series (boundary = len(a)); -1 when no boundary shift was found.
+	ChangeIndex int     `json:"changeIndex"`
+	KS          bool    `json:"ks"`
+	KSP         float64 `json:"ksP"`
+	Shift       bool    `json:"shift"`
+	ShiftRel    float64 `json:"shiftRel"`
+	Changed     bool    `json:"changed"`
+}
+
+// gateVerdict is the machine-readable output of totoscope gate.
+type gateVerdict struct {
+	A         string       `json:"a"`
+	B         string       `json:"b"`
+	Identical bool         `json:"identical"`
+	Changed   bool         `json:"changed"`
+	KPIs      []kpiSignals `json:"kpis,omitempty"`
+}
+
+// hourlySeries buckets one KPI over the journal's event time range.
+// Both journals are bucketed against their own start so same-shape runs
+// align bucket-for-bucket regardless of wall offsets.
+func hourlySeries(entries []journal.Entry, k gateKPI) []float64 {
+	var first, last time.Time
+	for i := range entries {
+		e := &entries[i]
+		if e.Type != journal.TypeEvent {
+			continue
+		}
+		t := e.Time()
+		if first.IsZero() || t.Before(first) {
+			first = t
+		}
+		if t.After(last) {
+			last = t
+		}
+	}
+	if first.IsZero() {
+		return nil
+	}
+	n := int(last.Sub(first)/time.Hour) + 1
+	buckets := make([]float64, n)
+	for i := range entries {
+		e := &entries[i]
+		if e.Type != journal.TypeEvent {
+			continue
+		}
+		v := k.extract(e)
+		if v == 0 {
+			continue
+		}
+		buckets[int(e.Time().Sub(first)/time.Hour)] += v
+	}
+	return buckets
+}
+
+// gateKPIVerdict runs the three detectors for one KPI.
+//
+// The change-point detector is the precise instrument: it finds the hour
+// the behavior shifted and only counts when that hour lands at the a/b
+// boundary (a shift inside one run is that run's own dynamics, not a
+// difference between runs). K-S compares the hourly distributions. The
+// total-shift guard is the robust fallback for bursty count series — a
+// chaos run concentrates its extra failovers in a few spike hours, which
+// distribution tests can shrug off, but the total moving is unmistakable.
+func gateKPIVerdict(name string, a, b []float64, alpha float64, perms int) kpiSignals {
+	sig := kpiSignals{KPI: name, ChangeIndex: -1}
+	for _, v := range a {
+		sig.SumA += v
+	}
+	for _, v := range b {
+		sig.SumB += v
+	}
+
+	// Total-shift guard: relative delta ≥ 50% of the larger total and an
+	// absolute delta ≥ 3 units (so 1-vs-2 noise cannot trip it).
+	delta := math.Abs(sig.SumA - sig.SumB)
+	sig.ShiftRel = delta / math.Max(math.Max(sig.SumA, sig.SumB), 1)
+	sig.Shift = sig.ShiftRel >= 0.5 && delta >= 3
+
+	if len(a) >= 2 && len(b) >= 2 {
+		ks := tstats.KSTwoSample(a, b)
+		sig.KSP = ks.P
+		sig.KS = ks.Reject(alpha)
+
+		concat := make([]float64, 0, len(a)+len(b))
+		concat = append(concat, a...)
+		concat = append(concat, b...)
+		if s, err := tstats.NewSeries(concat); err == nil {
+			opt := changepoint.DefaultOptions()
+			opt.Alpha = alpha
+			opt.Permutations = perms
+			points := changepoint.Detect(s, opt)
+			// A change between runs must sit at the concatenation boundary
+			// (± 2h of bucket-edge slack).
+			for _, p := range points {
+				if d := p.Index - len(a); d >= -2 && d <= 2 {
+					sig.ChangePoint = true
+					sig.ChangeIndex = p.Index
+					break
+				}
+			}
+		}
+	}
+
+	// Two independent corroborating detectors, or the unambiguous shift
+	// guard alone, flag the KPI; a lone p-value trip is treated as noise.
+	votes := 0
+	for _, v := range []bool{sig.ChangePoint, sig.KS} {
+		if v {
+			votes++
+		}
+	}
+	sig.Changed = sig.Shift || votes >= 2 || (sig.ChangePoint && sig.ShiftRel >= 0.25)
+	return sig
+}
+
+// runGate compares two journals and emits a regression verdict: exit 0
+// for "no change", exitChanged (3) for a detected KPI shift, 1 on error.
+func runGate(args []string) error {
+	fs := flag.NewFlagSet("gate", flag.ContinueOnError)
+	jsonOut := fs.Bool("json", false, "emit the verdict as JSON on stdout")
+	alpha := fs.Float64("alpha", 0.05, "significance level for the K-S and change-point tests")
+	perms := fs.Int("perms", 199, "permutations for the change-point significance test")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("gate wants exactly two journal paths")
+	}
+	ea, err := load(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	eb, err := load(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+
+	v := gateVerdict{A: fs.Arg(0), B: fs.Arg(1)}
+	ha, _ := journal.EventStreamHash(ea)
+	hb, _ := journal.EventStreamHash(eb)
+	v.Identical = ha == hb
+	if !v.Identical {
+		for _, k := range gateKPIs {
+			sig := gateKPIVerdict(k.name, hourlySeries(ea, k), hourlySeries(eb, k), *alpha, *perms)
+			v.KPIs = append(v.KPIs, sig)
+			if sig.Changed {
+				v.Changed = true
+			}
+		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(v); err != nil {
+			return err
+		}
+	} else {
+		printGate(v)
+	}
+	if v.Changed {
+		os.Exit(exitChanged)
+	}
+	return nil
+}
+
+func printGate(v gateVerdict) {
+	if v.Identical {
+		fmt.Printf("gate: no change — event streams identical\n")
+		return
+	}
+	fmt.Printf("gate: %s vs %s\n", v.A, v.B)
+	fmt.Printf("  %-16s %10s %10s  %-11s %-14s %-10s %s\n",
+		"kpi", "sum a", "sum b", "changepoint", "ks(p)", "shift", "verdict")
+	for _, s := range v.KPIs {
+		cp := "-"
+		if s.ChangePoint {
+			cp = fmt.Sprintf("@h%d", s.ChangeIndex)
+		}
+		ks := fmt.Sprintf("%v(%.3f)", s.KS, s.KSP)
+		shift := fmt.Sprintf("%v(%.0f%%)", s.Shift, 100*s.ShiftRel)
+		verdict := "ok"
+		if s.Changed {
+			verdict = "CHANGED"
+		}
+		fmt.Printf("  %-16s %10.1f %10.1f  %-11s %-14s %-10s %s\n",
+			s.KPI, s.SumA, s.SumB, cp, ks, shift, verdict)
+	}
+	if v.Changed {
+		fmt.Println("gate: CHANGE DETECTED")
+	} else {
+		fmt.Println("gate: no change")
+	}
+}

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"testing"
+	"time"
+
+	"toto/internal/obs/journal"
+	"toto/internal/rng"
+)
+
+// synthJournal builds a journal-entry slice with one failover event per
+// listed hour offset.
+func synthJournal(hours []int, downtimeS float64, movedGB float64) []journal.Entry {
+	start := time.Date(2020, time.June, 1, 0, 0, 0, 0, time.UTC)
+	var entries []journal.Entry
+	// Bracket the window so every synthetic run spans the same 48 hours
+	// regardless of where its failovers land.
+	for _, h := range []int{0, 47} {
+		entries = append(entries, journal.Entry{
+			Type: journal.TypeEvent, Kind: "balance-move",
+			T: start.Add(time.Duration(h) * time.Hour).UnixNano(),
+		})
+	}
+	for _, h := range hours {
+		entries = append(entries, journal.Entry{
+			Type: journal.TypeEvent, Kind: "failover",
+			T:           start.Add(time.Duration(h)*time.Hour + 30*time.Minute).UnixNano(),
+			DowntimeNs:  int64(downtimeS * float64(time.Second)),
+			MovedDiskGB: movedGB,
+		})
+	}
+	return entries
+}
+
+func TestHourlySeries(t *testing.T) {
+	entries := synthJournal([]int{2, 2, 40}, 30, 5)
+	vals := hourlySeries(entries, gateKPIs[0]) // failovers/h
+	if len(vals) != 48 {
+		t.Fatalf("bucket count = %d, want 48", len(vals))
+	}
+	if vals[2] != 2 || vals[40] != 1 || vals[3] != 0 {
+		t.Fatalf("buckets = h2:%g h40:%g h3:%g", vals[2], vals[40], vals[3])
+	}
+}
+
+func TestGateNoChangeOnSimilarRuns(t *testing.T) {
+	// Two stationary runs with the same sparse failover rate: the gate
+	// must stay quiet (this is the CI same-seed-twice contract, minus the
+	// identical-hash short circuit).
+	r := rng.New(7)
+	mk := func() []journal.Entry {
+		var hours []int
+		for h := 0; h < 48; h += 6 {
+			hours = append(hours, h+int(r.Uint64()%3))
+		}
+		return synthJournal(hours, 30, 5)
+	}
+	ea, eb := mk(), mk()
+	for _, k := range gateKPIs {
+		sig := gateKPIVerdict(k.name, hourlySeries(ea, k), hourlySeries(eb, k), 0.05, 199)
+		if sig.Changed {
+			t.Errorf("%s flagged on similar runs: %+v", k.name, sig)
+		}
+	}
+}
+
+func TestGateFlagsChaosShift(t *testing.T) {
+	// Clean run: 8 failovers spread evenly. Chaos run: same background
+	// plus crash bursts — the failover total triples.
+	clean := synthJournal([]int{3, 9, 15, 21, 27, 33, 39, 45}, 30, 5)
+	chaosHours := []int{3, 9, 15, 21, 27, 33, 39, 45}
+	for _, burst := range []int{6, 12, 36} {
+		for i := 0; i < 6; i++ {
+			chaosHours = append(chaosHours, burst)
+		}
+	}
+	chaos := synthJournal(chaosHours, 30, 5)
+
+	changed := false
+	for _, k := range gateKPIs {
+		sig := gateKPIVerdict(k.name, hourlySeries(clean, k), hourlySeries(chaos, k), 0.05, 199)
+		if sig.KPI == "failovers/h" && !sig.Changed {
+			t.Errorf("failovers/h not flagged: %+v", sig)
+		}
+		if sig.Changed {
+			changed = true
+		}
+	}
+	if !changed {
+		t.Fatal("gate saw no change between clean and chaos runs")
+	}
+}
+
+func TestGateVerdictDeterministic(t *testing.T) {
+	a := hourlySeries(synthJournal([]int{3, 9, 15}, 30, 5), gateKPIs[0])
+	b := hourlySeries(synthJournal([]int{2, 20, 21, 22, 23, 24, 25}, 30, 5), gateKPIs[0])
+	s1 := gateKPIVerdict("failovers/h", a, b, 0.05, 199)
+	s2 := gateKPIVerdict("failovers/h", a, b, 0.05, 199)
+	if s1 != s2 {
+		t.Fatalf("verdict not deterministic: %+v vs %+v", s1, s2)
+	}
+}

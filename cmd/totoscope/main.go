@@ -47,6 +47,8 @@ func main() {
 		err = runChain(args)
 	case "diff":
 		err = runDiff(args)
+	case "gate":
+		err = runGate(args)
 	case "prom":
 		err = runProm(args)
 	case "-h", "-help", "--help", "help":
@@ -71,6 +73,10 @@ func usage() {
                                         SLA-penalty attribution
   totoscope chain   <journal> <seq>     one entry's causal chain, root first
   totoscope diff    <a> <b>             compare two journals
+  totoscope gate    [-json] [-alpha p] [-perms n] <a> <b>
+                                        KPI regression verdict between two
+                                        journals; exit 3 when a change-point,
+                                        K-S, or total-shift signal fires
   totoscope prom    <journal>           final metrics, Prometheus text format
 `)
 }
@@ -219,9 +225,50 @@ func runReport(args []string) error {
 
 	printTimelines(w, entries, st, *width)
 	printRootCauses(w, st)
+	printAlerts(w, entries)
 	printAvailability(w, entries)
 	printPenalty(w, st)
 	return nil
+}
+
+// printAlerts renders the watch layer's alert transitions with the root
+// cause each firing chains to; journals from rule-less runs carry no
+// alert annotations and skip the section. Alerts whose causal chain dead-
+// ends get a WARNING line (CI greps for it: every alert in a chaos run
+// must trace back to an injected fault).
+func printAlerts(w *os.File, entries []journal.Entry) {
+	idx := journal.Index(entries)
+	var firings, resolves, unknown int
+	var lines []string
+	for i := range entries {
+		e := &entries[i]
+		if e.Type != journal.TypeAnnotation {
+			continue
+		}
+		switch e.Kind {
+		case "alert-firing":
+			firings++
+			root := journal.RootCause(idx, e)
+			if root == "unknown" {
+				unknown++
+			}
+			lines = append(lines, fmt.Sprintf("  %s  FIRING   %-20s %.3g (limit %.3g)  root: %s",
+				e.Time().Format("2006-01-02T15:04"), e.Detail, e.Value, e.Limit, root))
+		case "alert-resolved":
+			resolves++
+			lines = append(lines, fmt.Sprintf("  %s  resolved %-20s", e.Time().Format("2006-01-02T15:04"), e.Detail))
+		}
+	}
+	if firings == 0 && resolves == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\nalerts (%d fired, %d resolved):\n", firings, resolves)
+	for _, l := range lines {
+		fmt.Fprintln(w, l)
+	}
+	if unknown > 0 {
+		fmt.Fprintf(w, "  WARNING: %d alerts with unknown root cause\n", unknown)
+	}
 }
 
 // printAvailability renders the per-fault-domain quorum-availability

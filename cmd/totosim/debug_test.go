@@ -1,0 +1,89 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"toto/internal/obs"
+	"toto/internal/obs/alert"
+)
+
+// Two debug muxes must coexist in one process. The old implementation
+// registered on http.DefaultServeMux, so a second session panicked with
+// "http: multiple registrations"; a dedicated mux per server fixes that.
+func TestTwoDebugMuxesOneProcess(t *testing.T) {
+	sess := &obs.Session{}
+	a := newDebugMux(sess, nil, nil)
+	b := newDebugMux(sess, nil, nil) // would panic before the fix
+	for _, mux := range []*http.ServeMux{a, b} {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/cmdline", nil))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("pprof cmdline status = %d", rec.Code)
+		}
+	}
+}
+
+func TestDebugMuxEndpoints(t *testing.T) {
+	sess := &obs.Session{Obs: obs.New(obs.Options{})}
+	sess.Obs.Registry().Counter("plb.moves").Add(3)
+	eng := alert.NewEngine(&alert.Spec{Rules: []alert.ThresholdRule{
+		{Name: "nodes-down", Series: "cluster.upNodes", Op: alert.OpLT, Threshold: 14},
+	}})
+	mux := newDebugMux(sess, nil, eng)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/metrics"); code != 200 || !strings.Contains(body, "toto_plb_moves_total 3") {
+		t.Errorf("/metrics = %d\n%s", code, body)
+	}
+	if code, body := get("/"); code != 200 || !strings.Contains(body, "EventSource(\"/stream\")") {
+		t.Errorf("/ dashboard = %d (len %d)", code, len(body))
+	}
+	if code, _ := get("/nope"); code != 404 {
+		t.Errorf("/nope = %d, want 404", code)
+	}
+	if code, _ := get("/journal/tail"); code != 404 {
+		t.Errorf("/journal/tail without journal = %d, want 404", code)
+	}
+
+	code, body := get("/alerts")
+	if code != 200 {
+		t.Fatalf("/alerts = %d", code)
+	}
+	var payload struct {
+		Stats alert.Stats `json:"stats"`
+	}
+	if err := json.Unmarshal([]byte(body), &payload); err != nil {
+		t.Fatalf("/alerts body: %v\n%s", err, body)
+	}
+	if payload.Stats.Rules != 1 {
+		t.Errorf("/alerts stats = %+v", payload.Stats)
+	}
+}
+
+func TestDebugMuxAlertEndpointsDisabled(t *testing.T) {
+	mux := newDebugMux(&obs.Session{}, nil, nil)
+	for _, path := range []string{"/alerts", "/stream"} {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		if rec.Code != http.StatusNotFound {
+			t.Errorf("%s without engine = %d, want 404", path, rec.Code)
+		}
+	}
+}

@@ -36,7 +36,6 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
-	_ "net/http/pprof" // -http serves the default mux's pprof handlers
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -47,6 +46,7 @@ import (
 	"toto/internal/core"
 	"toto/internal/models"
 	"toto/internal/obs"
+	"toto/internal/obs/alert"
 	"toto/internal/obs/journal"
 	"toto/internal/obs/timeseries"
 	"toto/internal/slo"
@@ -60,7 +60,7 @@ func main() {
 	outDir := flag.String("out", "", "write telemetry CSVs to this directory")
 	chaosPath := flag.String("chaos", "", "JSON chaos spec file injected over the measured window")
 	chaosSeed := flag.Uint64("chaos-seed", 0, "override the chaos spec's seed (nonzero)")
-	httpAddr := flag.String("http", "", "serve a live debug endpoint on this address (pprof, /metrics, /journal/tail)")
+	httpAddr := flag.String("http", "", "serve a live debug endpoint on this address (dashboard at /, pprof, /metrics, /journal/tail, /alerts, SSE /stream)")
 	topology := flag.String("topology", "", "stripe nodes over fault and upgrade domains, as FDxUD (e.g. 4x3)")
 	upgradeStart := flag.Float64("upgrade", 0, "schedule a safety-checked domain upgrade this many hours into the measured window (needs -topology or a scenario topology section)")
 	obsFlags := obs.BindFlags(flag.CommandLine)
@@ -155,6 +155,13 @@ func main() {
 		}
 		spec.Chaos.Seed = *chaosSeed
 	}
+	if obsFlags.AlertsPath != "" {
+		as, err := alert.LoadSpec(obsFlags.AlertsPath)
+		if err != nil {
+			fail(err)
+		}
+		spec.Alerts = as // flag overrides the scenario's "alerts" section
+	}
 
 	var set *models.ModelSet
 	if spec.ModelXML != "" {
@@ -207,11 +214,18 @@ func main() {
 		series = timeseries.NewStore(resolution, capacity)
 		sc.SeriesStore = series
 	}
+	// With -http the alert engine is built here (even with zero rules) so
+	// the dashboard's /alerts and /stream endpoints can attach before the
+	// run starts; the orchestrator binds it to the cluster and sim clock.
+	// Without -http, rule-bearing scenarios get their engine from the
+	// orchestrator directly.
 	if *httpAddr != "" {
+		eng := alert.NewEngine(sc.Alerts)
+		sc.AlertEngine = eng
 		if jw != nil {
 			jw.EnableTail()
 		}
-		debugSrv.Store(serveDebug(*httpAddr, sess, jw))
+		debugSrv.Store(serveDebug(*httpAddr, newDebugMux(sess, jw, eng)))
 	}
 	res, err := core.Run(sc)
 	if err != nil {
@@ -254,6 +268,10 @@ func main() {
 		fmt.Printf("quorum: %d losses, %s unavailable (topology %dx%d)\n",
 			res.QuorumLosses, res.QuorumDowntime.Round(time.Second), sc.FaultDomains, sc.UpgradeDomains)
 	}
+	if a := res.Alerts; a != nil {
+		fmt.Printf("alerts: %d rules, %d fired, %d resolved, %d still active\n",
+			a.Rules, a.Fired, a.Resolved, a.Active)
+	}
 	if u := res.Upgrade; u != nil {
 		fmt.Printf("upgrade: %s, %d/%d domains, %d stalls, %d replicas evacuated (%d stranded)\n",
 			u.State, u.DomainsCompleted, u.DomainsTotal, u.Stalls, u.Evacuated, u.Stranded)
@@ -290,49 +308,4 @@ func main() {
 	write("failovers.csv", func(f *os.File) error { return telemetry.WriteFailoversCSV(f, res.Failovers) })
 	write("nodes.csv", func(f *os.File) error { return telemetry.WriteNodeSamplesCSV(f, res.NodeSamples) })
 	fmt.Printf("telemetry written to %s\n", *outDir)
-}
-
-// serveDebug starts the live debug endpoint: the default mux already
-// carries net/http/pprof's handlers; /metrics exposes a Prometheus-text
-// snapshot of the metrics registry and /journal/tail the most recent
-// journal entries (both read concurrently with the running simulation —
-// the registry and the journal writer are mutex-guarded). The returned
-// server carries header/idle timeouts so a stuck or idle client cannot
-// pin a connection forever, and is shut down gracefully on interrupt.
-func serveDebug(addr string, sess *obs.Session, jw *journal.Writer) *http.Server {
-	http.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-		if sess.Obs == nil {
-			http.Error(w, "metrics registry not enabled", http.StatusNotFound)
-			return
-		}
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-		_ = obs.WritePrometheus(w, sess.Obs.Registry().Snapshot())
-	})
-	http.HandleFunc("/journal/tail", func(w http.ResponseWriter, r *http.Request) {
-		if jw == nil {
-			http.Error(w, "journal not enabled (-journal-out)", http.StatusNotFound)
-			return
-		}
-		n := 64
-		if q := r.URL.Query().Get("n"); q != "" {
-			fmt.Sscanf(q, "%d", &n)
-		}
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		for _, e := range jw.Tail(n) {
-			_ = enc.Encode(e)
-		}
-	})
-	srv := &http.Server{
-		Addr:              addr,
-		ReadHeaderTimeout: 5 * time.Second,
-		IdleTimeout:       60 * time.Second,
-	}
-	go func() {
-		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-			fmt.Fprintln(os.Stderr, "totosim: -http:", err)
-		}
-	}()
-	fmt.Fprintf(os.Stderr, "totosim: debug endpoint on http://%s (pprof at /debug/pprof, /metrics, /journal/tail)\n", addr)
-	return srv
 }

@@ -36,6 +36,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "tototrain:", err)
 		os.Exit(1)
 	}
+	if obsFlags.AlertsPath != "" {
+		// Training runs no cluster, so there is nothing for the watch
+		// layer to evaluate; fail loudly rather than silently ignore.
+		fmt.Fprintln(os.Stderr, "tototrain: -alerts is not supported (training has no cluster to watch)")
+		os.Exit(2)
+	}
 	// Training has no cluster to journal; -journal-out records the run's
 	// metadata and final metrics snapshot for provenance.
 	var jw *journal.Writer

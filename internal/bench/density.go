@@ -15,6 +15,7 @@ import (
 	"toto/internal/asciichart"
 	"toto/internal/core"
 	"toto/internal/obs"
+	"toto/internal/obs/alert"
 	"toto/internal/slo"
 	"toto/internal/stats"
 )
@@ -37,6 +38,9 @@ type StudyConfig struct {
 	// run gets its own span track (forked from this handle) while all
 	// runs aggregate into the same metrics registry and trace buffer.
 	Obs *obs.Obs
+	// Alerts, when set, attaches the watch layer to every density run;
+	// each run gets its own engine so alert state never crosses runs.
+	Alerts *alert.Spec
 }
 
 // DefaultStudyConfig returns the paper's §5.2 setup.
@@ -76,6 +80,7 @@ func RunStudy(cfg StudyConfig) (*Study, error) {
 			// Each parallel run records onto its own span track; the
 			// registry and trace buffer are shared.
 			sc.Obs = cfg.Obs.Fork(name)
+			sc.Alerts = cfg.Alerts
 			results[i], errs[i] = core.Run(sc)
 		}(i, d)
 	}

@@ -26,6 +26,9 @@ func TestChaosWeekScenario(t *testing.T) {
 	if sf.Chaos == nil {
 		t.Fatal("chaos-week.json has no chaos section")
 	}
+	if !sf.Alerts.Active() {
+		t.Fatal("chaos-week.json has no alerts section")
+	}
 	sc := sf.Build(DefaultModels().Set)
 
 	res, err := Run(sc)
@@ -65,5 +68,31 @@ func TestChaosWeekScenario(t *testing.T) {
 	// Unplanned downtime is priced; the run must still produce revenue.
 	if res.Revenue.Adjusted <= 0 || res.Revenue.Adjusted > res.Revenue.Gross {
 		t.Errorf("revenue under chaos: gross=%v adjusted=%v", res.Revenue.Gross, res.Revenue.Adjusted)
+	}
+
+	// The watch layer must have seen the week: the burn-rate SLO fires on
+	// the crash-induced failover bursts, and — mirroring the failover
+	// root-cause assertion above — every fired alert chains to a chaos
+	// injection. An alert with any other (or no) root cause means the
+	// causal bracket or the anchor ranking regressed.
+	al := res.Alerts
+	if al == nil {
+		t.Fatal("run returned no alert stats")
+	}
+	t.Logf("alert stats: %+v", *al)
+	if al.ByRule["failover-budget"] == 0 {
+		t.Error("burn-rate SLO never fired in a week of crash bursts")
+	}
+	for _, tr := range res.AlertHistory {
+		if tr.State != "firing" {
+			continue
+		}
+		if tr.Root != "chaos" || tr.RootSeq == 0 {
+			t.Errorf("alert %q fired at %s with root %q (seq %d), want chaos",
+				tr.Rule, tr.Time.Format("2006-01-02T15:04"), tr.Root, tr.RootSeq)
+		}
+	}
+	if al.Fired == 0 {
+		t.Error("no alerts fired at all")
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"toto/internal/fabric"
 	"toto/internal/models"
 	"toto/internal/obs"
+	"toto/internal/obs/alert"
 	"toto/internal/revenue"
 	"toto/internal/slo"
 	"toto/internal/telemetry"
@@ -90,6 +91,11 @@ type Result struct {
 	// Chaos summarizes the injected fault schedule and the continuous
 	// invariant checker's verdict (nil for runs without a chaos spec).
 	Chaos *chaos.Stats
+	// Alerts summarizes the watch layer's activity (nil for runs without
+	// alert rules); AlertHistory is every transition in firing order, each
+	// carrying the causal root its firing was bracketed to.
+	Alerts       *alert.Stats
+	AlertHistory []alert.Transition
 	// PoolsProvisioned, PoolMemberCreates, and PoolMemberDrops summarize
 	// elastic-pool churn (zero unless the model set carries a PoolPolicy).
 	PoolsProvisioned  int
@@ -259,6 +265,12 @@ func Run(s *Scenario) (*Result, error) {
 	if chaosEng != nil {
 		st := chaosEng.Stats()
 		res.Chaos = &st
+	}
+	// Read alert stats before the deferred Stop tears the engine down.
+	if eng := o.Alerts(); eng != nil && eng.RuleCount() > 0 {
+		st := eng.Stats()
+		res.Alerts = &st
+		res.AlertHistory = eng.History()
 	}
 	res.PoolsProvisioned = len(o.Pools.Pools())
 	res.PoolMemberCreates, res.PoolMemberDrops = o.PopMgr.PoolStats()

@@ -8,6 +8,7 @@ import (
 	"toto/internal/fabric"
 	"toto/internal/models"
 	"toto/internal/obs"
+	"toto/internal/obs/alert"
 	"toto/internal/obs/timeseries"
 	"toto/internal/pools"
 	"toto/internal/population"
@@ -45,6 +46,7 @@ type Orchestrator struct {
 	tickers   []*simclock.Ticker
 	obs       *obs.Obs
 	collector *timeseries.Collector
+	alerts    *alert.Engine
 }
 
 // NewOrchestrator builds (but does not start) a deployment for scenario.
@@ -224,9 +226,34 @@ func (o *Orchestrator) WriteModels(set *models.ModelSet) error {
 // (the experiment protocol bootstraps first).
 func (o *Orchestrator) Start() {
 	o.Cluster.Start()
+	// The watch layer rides on the series store: if alert rules (or a
+	// pre-built engine) are configured without one, create a default
+	// store so the collector has somewhere to sample.
+	if o.Scenario.SeriesStore == nil && (o.Scenario.Alerts.Active() || o.Scenario.AlertEngine != nil) {
+		res := o.Scenario.NodeTelemetryInterval
+		if res <= 0 {
+			res = 10 * time.Minute
+		}
+		capacity := int((o.Scenario.BootstrapDuration+o.Scenario.Duration)/res) + 2
+		o.Scenario.SeriesStore = timeseries.NewStore(res, capacity)
+	}
 	if o.Scenario.SeriesStore != nil && o.collector == nil {
 		o.collector = timeseries.NewCollector(o.Cluster, o.Scenario.SeriesStore)
 		o.collector.Start(o.Clock)
+	}
+	// Start the alert engine after the collector so that, at equal tick
+	// timestamps, sampling precedes rule evaluation.
+	if o.alerts == nil && o.Scenario.SeriesStore != nil {
+		switch {
+		case o.Scenario.AlertEngine != nil:
+			o.alerts = o.Scenario.AlertEngine
+		case o.Scenario.Alerts.Active():
+			o.alerts = alert.NewEngine(o.Scenario.Alerts)
+		}
+		if o.alerts != nil {
+			o.alerts.Bind(o.Cluster, o.Scenario.SeriesStore)
+			o.alerts.Start(o.Clock)
+		}
 	}
 	if o.Scenario.ModelRefreshInterval > 0 {
 		o.tickers = append(o.tickers, o.Clock.Every(o.Scenario.ModelRefreshInterval, func(time.Time) {
@@ -261,12 +288,20 @@ func (o *Orchestrator) Start() {
 	}
 }
 
+// Alerts returns the run's alert engine, or nil when no watch layer is
+// attached.
+func (o *Orchestrator) Alerts() *alert.Engine { return o.alerts }
+
 // Stop halts everything the orchestrator scheduled.
 func (o *Orchestrator) Stop() {
 	for _, t := range o.tickers {
 		t.Stop()
 	}
 	o.tickers = nil
+	if o.alerts != nil {
+		o.alerts.Stop()
+		o.alerts = nil
+	}
 	if o.collector != nil {
 		// One closing sample so the series end at the stop instant, then
 		// detach from the clock.

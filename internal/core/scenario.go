@@ -15,6 +15,7 @@ import (
 	"toto/internal/fabric"
 	"toto/internal/models"
 	"toto/internal/obs"
+	"toto/internal/obs/alert"
 	"toto/internal/obs/journal"
 	"toto/internal/obs/timeseries"
 	"toto/internal/slo"
@@ -136,6 +137,18 @@ type Scenario struct {
 	// timeseries collector (per-node utilization and replica counts,
 	// cluster-wide rates) for the journal's .series.json sidecar.
 	SeriesStore *timeseries.Store
+	// Alerts, when it carries rules, attaches the watch layer: an alert
+	// engine evaluating the rules against the series store on the sim
+	// clock, emitting alert-firing/alert-resolved annotations into the
+	// journal's causal chains. The orchestrator creates a default series
+	// store (and collector) if none is configured. nil or empty leaves
+	// every hot path untouched.
+	Alerts *alert.Spec
+	// AlertEngine, when set, is the pre-built engine to use instead of
+	// one compiled from Alerts — totosim builds it up front so its HTTP
+	// dashboard can attach before the run starts. The orchestrator binds
+	// and starts it.
+	AlertEngine *alert.Engine
 }
 
 // DomainUpgrade schedules a safety-checked rolling upgrade over the
@@ -174,6 +187,9 @@ func (s *Scenario) Validate() error {
 		if err := s.Chaos.Validate(); err != nil {
 			return fmt.Errorf("core: scenario %q: %w", s.Name, err)
 		}
+	}
+	if err := s.Alerts.Validate(); err != nil {
+		return fmt.Errorf("core: scenario %q: %w", s.Name, err)
 	}
 	for e, mix := range s.Population.SLOMix {
 		for _, sw := range mix {

@@ -9,6 +9,7 @@ import (
 	"toto/internal/chaos"
 	"toto/internal/fabric"
 	"toto/internal/models"
+	"toto/internal/obs/alert"
 	"toto/internal/slo"
 )
 
@@ -59,6 +60,10 @@ type ScenarioFile struct {
 	// Chaos optionally attaches a deterministic fault schedule to the
 	// measured window (see internal/chaos for the schema).
 	Chaos *chaos.Spec `json:"chaos"`
+	// Alerts optionally attaches the watch layer: threshold and burn-rate
+	// rules evaluated on the sim clock (see internal/obs/alert for the
+	// schema). A -alerts flag on the CLI overrides this section.
+	Alerts *alert.Spec `json:"alerts"`
 }
 
 // ParseScenarioFile decodes the JSON schema. Unknown fields are rejected
@@ -85,6 +90,9 @@ func ParseScenarioFile(data []byte) (*ScenarioFile, error) {
 		if err := sf.Chaos.Validate(); err != nil {
 			return nil, err
 		}
+	}
+	if err := sf.Alerts.Validate(); err != nil {
+		return nil, err
 	}
 	return &sf, nil
 }
@@ -150,5 +158,6 @@ func (sf *ScenarioFile) Build(set *models.ModelSet) *Scenario {
 		}
 	}
 	sc.Chaos = sf.Chaos
+	sc.Alerts = sf.Alerts
 	return sc
 }

@@ -1,0 +1,83 @@
+package alert
+
+import (
+	"testing"
+	"time"
+
+	"toto/internal/obs/timeseries"
+)
+
+// The paired benchmarks below measure the cost the watch layer adds to
+// each telemetry tick. Disabled must report 0 B/op, 0 allocs/op — the
+// acceptance bar for leaving the layer compiled into every run.
+
+func benchTick(b *testing.B, eng *Engine) {
+	b.Helper()
+	store := timeseries.NewStore(testRes, 4096)
+	up := store.Series("cluster.upNodes")
+	fo := store.Series("cluster.failovers.delta")
+	if eng != nil {
+		eng.Bind(&fakeJournal{}, store)
+		// Resolution is normally set by Bind from the engine's default;
+		// warm the lazy series lookups with a few pre-run evaluations.
+	}
+	now := time.Date(2020, time.June, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 8; i++ {
+		up.Push(14)
+		fo.Push(0)
+		if eng != nil {
+			eng.evaluate(now)
+		}
+		now = now.Add(testRes)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		up.Push(14)
+		fo.Push(0)
+		if eng != nil {
+			eng.evaluate(now)
+		}
+		now = now.Add(testRes)
+	}
+}
+
+// BenchmarkTickDisabled is the baseline: telemetry pushes with no watch
+// layer at all (the default for every run without alert rules).
+func BenchmarkTickDisabled(b *testing.B) {
+	benchTick(b, nil)
+}
+
+// BenchmarkTickEmptyEngine is the zero-rule engine: it must add nothing —
+// same 0 allocs/op as the no-engine baseline.
+func BenchmarkTickEmptyEngine(b *testing.B) {
+	benchTick(b, NewEngine(nil))
+}
+
+// BenchmarkTickWithRules is the enabled cost for a realistic rule set
+// (one threshold, one two-window SLO) in the steady healthy state.
+func BenchmarkTickWithRules(b *testing.B) {
+	benchTick(b, NewEngine(&Spec{
+		Rules: []ThresholdRule{{Name: "nodes-down", Series: "cluster.upNodes", Op: OpLT, Threshold: 14, ForMinutes: 20}},
+		SLOs:  []SLORule{{Name: "failover-budget", Series: "cluster.failovers.delta", Budget: 1000}},
+	}))
+}
+
+// TestTickBenchmarksZeroAllocWhenDisabled pins the pairing as a test so
+// CI enforces it without running benchmarks: both disabled variants are
+// allocation-free per tick.
+func TestTickBenchmarksZeroAllocWhenDisabled(t *testing.T) {
+	store := timeseries.NewStore(testRes, 4096)
+	up := store.Series("cluster.upNodes")
+	empty := NewEngine(nil)
+	empty.Bind(&fakeJournal{}, store)
+	now := time.Date(2020, time.June, 1, 0, 0, 0, 0, time.UTC)
+	up.Push(14)
+	empty.evaluate(now)
+	if allocs := testing.AllocsPerRun(100, func() {
+		up.Push(14)
+		empty.evaluate(now)
+	}); allocs != 0 {
+		t.Fatalf("disabled tick allocates: %v allocs/op", allocs)
+	}
+}

@@ -1,0 +1,14 @@
+package obs
+
+import "net/http"
+
+// MetricsHandler serves a live Prometheus text-format scrape of the
+// registry. Each request takes a fresh snapshot, so the endpoint is safe
+// to poll while the simulator runs. Nil-safe: a nil registry serves an
+// empty (but valid) exposition.
+func MetricsHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WritePrometheus(w, r.Snapshot())
+	})
+}

@@ -46,13 +46,14 @@ func Chain(idx map[uint64]*Entry, seq uint64) []*Entry {
 	return rev
 }
 
-// classify maps a causal anchor to a root-cause label; empty when the
-// entry is not an anchor.
-func classify(e *Entry) string {
-	if e.Type != TypeAnnotation {
-		return ""
-	}
-	switch e.Kind {
+// AnchorClass maps an annotation kind to a root-cause label; empty when
+// the kind is not a causal anchor. The alert engine shares this table: an
+// alert fired during an incident is bracketed to the most recent anchor,
+// so its causal chain terminates at the same root a failover's would.
+// Alert transitions themselves are deliberately not anchors — an alert
+// never causes anything.
+func AnchorClass(kind string) string {
+	switch kind {
 	case "chaos-injection":
 		return "chaos"
 	case "node-crash":
@@ -74,6 +75,15 @@ func classify(e *Entry) string {
 		return "quorum"
 	}
 	return ""
+}
+
+// classify maps a causal anchor to a root-cause label; empty when the
+// entry is not an anchor.
+func classify(e *Entry) string {
+	if e.Type != TypeAnnotation {
+		return ""
+	}
+	return AnchorClass(e.Kind)
 }
 
 // RootCause attributes an entry to the origin of its causal chain: the

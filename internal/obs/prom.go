@@ -22,7 +22,8 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 	sort.Strings(names)
 	for _, name := range names {
 		p := promName(name) + "_total"
-		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", p, p, s.Counters[name]); err != nil {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n",
+			p, promHelp(name, "counter"), p, p, s.Counters[name]); err != nil {
 			return err
 		}
 	}
@@ -34,7 +35,8 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 	sort.Strings(names)
 	for _, name := range names {
 		p := promName(name)
-		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", p, p, s.Gauges[name]); err != nil {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n",
+			p, promHelp(name, "gauge"), p, p, s.Gauges[name]); err != nil {
 			return err
 		}
 	}
@@ -47,7 +49,8 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 	for _, name := range names {
 		h := s.Histograms[name]
 		p := promName(name)
-		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", p); err != nil {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n",
+			p, promHelp(name, "histogram"), p); err != nil {
 			return err
 		}
 		// Buckets are exported cumulatively, as Prometheus expects;
@@ -65,6 +68,34 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 		}
 	}
 	return nil
+}
+
+// promHelp derives the HELP text for a metric. The registry keeps no
+// per-metric help strings, so the text is generated from the original
+// (unsanitized) registry name — still useful to a human browsing
+// /metrics, and it preserves the dotted name the simulator code uses.
+func promHelp(name, kind string) string {
+	return escapeHelp("Toto simulator " + kind + " " + name + ".")
+}
+
+// escapeHelp escapes a HELP string per the text exposition format:
+// backslash and newline must be escaped so the comment stays one line.
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
 }
 
 // promName converts a registry metric name to a Prometheus-legal one

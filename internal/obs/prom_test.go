@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestPromNameEscaping(t *testing.T) {
+	cases := map[string]string{
+		"plb.moves":            "toto_plb_moves",
+		"fabric.node-crash":    "toto_fabric_node_crash",
+		"util/cpu":             "toto_util_cpu",
+		"already_legal_Name9":  "toto_already_legal_Name9",
+		"spaces and µnicode!":  "toto_spaces_and__nicode_",
+		"replicas/node plb-7x": "toto_replicas_node_plb_7x",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestEscapeHelp(t *testing.T) {
+	if got := escapeHelp(`back\slash` + "\nline"); got != `back\\slash\nline` {
+		t.Errorf("escapeHelp = %q", got)
+	}
+	// The common case must not allocate a rebuilt string.
+	in := "plain help text."
+	if got := escapeHelp(in); got != in {
+		t.Errorf("escapeHelp(%q) = %q", in, got)
+	}
+}
+
+func TestWritePrometheusHelpAndTypeLines(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("plb.moves").Add(7)
+	reg.Gauge("cluster.density").Set(1.25)
+	reg.Histogram("move.duration-s").Observe(2)
+	reg.Histogram("move.duration-s").Observe(300)
+
+	var b strings.Builder
+	if err := WritePrometheus(&b, reg.Snapshot()); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	out := b.String()
+
+	for _, want := range []string{
+		"# HELP toto_plb_moves_total Toto simulator counter plb.moves.\n",
+		"# TYPE toto_plb_moves_total counter\n",
+		"toto_plb_moves_total 7\n",
+		"# HELP toto_cluster_density Toto simulator gauge cluster.density.\n",
+		"# TYPE toto_cluster_density gauge\n",
+		"toto_cluster_density 1.25\n",
+		"# HELP toto_move_duration_s Toto simulator histogram move.duration-s.\n",
+		"# TYPE toto_move_duration_s histogram\n",
+		"toto_move_duration_s_bucket{le=\"+Inf\"} 2\n",
+		"toto_move_duration_s_sum 302\n",
+		"toto_move_duration_s_count 2\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\nfull output:\n%s", want, out)
+		}
+	}
+
+	// Every HELP line must be immediately followed by its TYPE line for
+	// the same metric — scrapers associate metadata by adjacency.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	for i, line := range lines {
+		if !strings.HasPrefix(line, "# HELP ") {
+			continue
+		}
+		name := strings.Fields(line)[2]
+		if i+1 >= len(lines) || !strings.HasPrefix(lines[i+1], "# TYPE "+name+" ") {
+			t.Errorf("HELP for %s not followed by its TYPE line (next: %q)", name, lines[i+1])
+		}
+	}
+}
+
+func TestMetricsHandlerRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("journal.events").Add(42)
+	reg.Gauge("cluster.upNodes").Set(17)
+
+	srv := httptest.NewServer(MetricsHandler(reg))
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q, want text/plain exposition", ct)
+	}
+	var raw strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		raw.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	body := raw.String()
+
+	// The handler must serve exactly what WritePrometheus renders for a
+	// snapshot of the same registry.
+	var direct strings.Builder
+	if err := WritePrometheus(&direct, reg.Snapshot()); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	if body != direct.String() {
+		t.Errorf("handler body differs from direct render\nhandler:\n%s\ndirect:\n%s", body, direct.String())
+	}
+	if !strings.Contains(body, "toto_journal_events_total 42\n") {
+		t.Errorf("round-trip missing counter value:\n%s", body)
+	}
+}
+
+func TestMetricsHandlerNilRegistry(t *testing.T) {
+	rec := httptest.NewRecorder()
+	MetricsHandler(nil).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if body := rec.Body.String(); body != "" {
+		t.Errorf("nil registry should expose nothing, got %q", body)
+	}
+}

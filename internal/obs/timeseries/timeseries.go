@@ -58,6 +58,35 @@ func (s *Series) Values() []float64 {
 // Len returns the number of retained samples.
 func (s *Series) Len() int { return s.n }
 
+// Last returns the most recent sample, or false when the series is empty.
+func (s *Series) Last() (float64, bool) {
+	if s.n == 0 {
+		return 0, false
+	}
+	return s.vals[(s.next-1+len(s.vals))%len(s.vals)], true
+}
+
+// TailSum sums the most recent n samples without allocating, walking the
+// ring backwards. It returns the sum and how many samples were actually
+// present (less than n while the series is still filling). The alert
+// engine calls this every evaluation tick, so it must stay allocation
+// free.
+func (s *Series) TailSum(n int) (float64, int) {
+	if n > s.n {
+		n = s.n
+	}
+	sum := 0.0
+	idx := s.next
+	for i := 0; i < n; i++ {
+		idx--
+		if idx < 0 {
+			idx += len(s.vals)
+		}
+		sum += s.vals[idx]
+	}
+	return sum, n
+}
+
 // Dropped returns how many samples aged out of the ring.
 func (s *Series) Dropped() int { return s.dropped }
 
@@ -153,6 +182,16 @@ func (st *Store) Series(name string) *Series {
 		st.series[name] = s
 	}
 	return s
+}
+
+// Lookup returns the named series without creating it, so probes (alert
+// rules referencing a series that never got a sample) do not pollute the
+// sidecar with empty series.
+func (st *Store) Lookup(name string) (*Series, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	s, ok := st.series[name]
+	return s, ok
 }
 
 // Names returns every series name, sorted.

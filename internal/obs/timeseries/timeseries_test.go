@@ -81,3 +81,43 @@ func TestPathFor(t *testing.T) {
 		}
 	}
 }
+
+func TestSeriesLastAndTailSum(t *testing.T) {
+	s := NewStore(time.Minute, 4).Series("x")
+	if _, ok := s.Last(); ok {
+		t.Fatal("Last on empty series reported a value")
+	}
+	if sum, n := s.TailSum(3); sum != 0 || n != 0 {
+		t.Fatalf("TailSum on empty = (%v, %d)", sum, n)
+	}
+	for i := 1; i <= 6; i++ {
+		s.Push(float64(i))
+	}
+	if v, ok := s.Last(); !ok || v != 6 {
+		t.Fatalf("Last = (%v, %v), want (6, true)", v, ok)
+	}
+	// Ring holds 3..6 after wrap-around.
+	if sum, n := s.TailSum(2); sum != 11 || n != 2 {
+		t.Fatalf("TailSum(2) = (%v, %d), want (11, 2)", sum, n)
+	}
+	if sum, n := s.TailSum(10); sum != 18 || n != 4 {
+		t.Fatalf("TailSum(10) = (%v, %d), want (18, 4)", sum, n)
+	}
+	if allocs := testing.AllocsPerRun(100, func() { s.TailSum(4) }); allocs != 0 {
+		t.Fatalf("TailSum allocates: %v allocs/op", allocs)
+	}
+}
+
+func TestStoreLookup(t *testing.T) {
+	st := NewStore(time.Minute, 4)
+	if _, ok := st.Lookup("missing"); ok {
+		t.Fatal("Lookup created or found a missing series")
+	}
+	if len(st.Names()) != 0 {
+		t.Fatalf("Lookup polluted the store: %v", st.Names())
+	}
+	st.Series("present").Push(1)
+	if s, ok := st.Lookup("present"); !ok || s.Len() != 1 {
+		t.Fatal("Lookup missed an existing series")
+	}
+}

@@ -29,10 +29,16 @@ func (r KSResult) Reject(alpha float64) bool { return r.P < alpha }
 // matching scipy.stats.kstest closely for the sample sizes the paper
 // feeds it (tens to hundreds of hourly observations).
 func KSTest(xs []float64, cdf func(float64) float64) KSResult {
-	if len(xs) == 0 {
-		panic(ErrEmpty)
+	s, err := NewSeries(xs)
+	if err != nil {
+		panic(err) // ErrEmpty for an empty sample, preserving the old contract
 	}
-	sorted := append([]float64(nil), xs...)
+	return KSTestSeries(s, cdf)
+}
+
+// KSTestSeries is KSTest on an already-validated sample.
+func KSTestSeries(s Series, cdf func(float64) float64) KSResult {
+	sorted := s.Values()
 	sort.Float64s(sorted)
 	n := float64(len(sorted))
 	d := 0.0
@@ -50,7 +56,7 @@ func KSTest(xs []float64, cdf func(float64) float64) KSResult {
 	}
 	en := math.Sqrt(n)
 	lambda := (en + 0.12 + 0.11/en) * d
-	return KSResult{D: d, P: kolmogorovQ(lambda), N: len(xs)}
+	return KSResult{D: d, P: kolmogorovQ(lambda), N: len(sorted)}
 }
 
 // KSTestNormal fits a normal distribution to xs by moments and tests xs
@@ -70,11 +76,21 @@ func KSTestNormal(xs []float64) KSResult {
 // KSTwoSample runs a two-sample Kolmogorov-Smirnov test of xs against ys.
 // It panics if either sample is empty.
 func KSTwoSample(xs, ys []float64) KSResult {
-	if len(xs) == 0 || len(ys) == 0 {
-		panic(ErrEmpty)
+	sx, err := NewSeries(xs)
+	if err != nil {
+		panic(err)
 	}
-	a := append([]float64(nil), xs...)
-	b := append([]float64(nil), ys...)
+	sy, err := NewSeries(ys)
+	if err != nil {
+		panic(err)
+	}
+	return KSTwoSampleSeries(sx, sy)
+}
+
+// KSTwoSampleSeries is KSTwoSample on already-validated samples.
+func KSTwoSampleSeries(sx, sy Series) KSResult {
+	a := sx.Values()
+	b := sy.Values()
 	sort.Float64s(a)
 	sort.Float64s(b)
 	na, nb := float64(len(a)), float64(len(b))
@@ -95,7 +111,7 @@ func KSTwoSample(xs, ys []float64) KSResult {
 	}
 	en := math.Sqrt(na * nb / (na + nb))
 	lambda := (en + 0.12 + 0.11/en) * d
-	return KSResult{D: d, P: kolmogorovQ(lambda), N: len(xs) + len(ys)}
+	return KSResult{D: d, P: kolmogorovQ(lambda), N: len(a) + len(b)}
 }
 
 // kolmogorovQ returns Q_KS(lambda) = 2 * sum_{k>=1} (-1)^{k-1}

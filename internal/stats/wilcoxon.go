@@ -37,10 +37,35 @@ var ErrAllZeroDiffs = errors.New("stats: wilcoxon: all paired differences are ze
 // The paper applies this test pair-wise to node-level disk-usage and
 // reserved-core distributions from three repeated experiments to show the
 // PLB's non-determinism does not significantly change outcomes.
+//
+// This is the bare-slice convenience wrapper; it validates via NewSeries
+// and delegates to WilcoxonSeries.
 func Wilcoxon(a, b []float64) (WilcoxonResult, error) {
 	if len(a) != len(b) {
 		return WilcoxonResult{}, errors.New("stats: wilcoxon length mismatch")
 	}
+	if len(a) == 0 {
+		// Identical (because empty) samples: same verdict as all-zero diffs.
+		return WilcoxonResult{}, ErrAllZeroDiffs
+	}
+	sa, err := NewSeries(a)
+	if err != nil {
+		return WilcoxonResult{}, err
+	}
+	sb, err := NewSeries(b)
+	if err != nil {
+		return WilcoxonResult{}, err
+	}
+	return WilcoxonSeries(sa, sb)
+}
+
+// WilcoxonSeries runs the signed-rank test on two already-validated
+// samples. The samples must be paired: equal lengths.
+func WilcoxonSeries(sa, sb Series) (WilcoxonResult, error) {
+	if sa.Len() != sb.Len() {
+		return WilcoxonResult{}, errors.New("stats: wilcoxon length mismatch")
+	}
+	a, b := sa.vals, sb.vals
 	type diff struct {
 		abs  float64
 		sign float64

@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# gate.sh — regression gates over the repo's two recorded baselines.
+#
+# Usage:
+#   scripts/gate.sh kpi <a.jsonl.gz> <b.jsonl.gz>
+#       Run `totoscope gate` on two journals. Exit 0 = no change,
+#       3 = KPI regression detected (change-point at the run boundary,
+#       K-S distribution shift, or an unambiguous total shift).
+#
+#   scripts/gate.sh bench [candidate.json]
+#       Gate a BENCH_fabric.json re-recording: without an argument a
+#       fresh baseline is recorded first (scripts/bench.sh), then each
+#       benchmark's ns/op, B/op, and allocs/op are compared against the
+#       committed BENCH_fabric.json. A benchmark may not slow down by
+#       more than TOLERANCE (default 30%: shared-runner noise is real)
+#       and may not grow its allocation count at all. Exit 3 on
+#       regression. Run this before committing a re-recorded baseline so
+#       a perf regression cannot hide inside a "routine" re-record.
+#
+# Environment:
+#   TOLERANCE  allowed fractional ns/op slowdown for bench mode (default 0.30)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mode="${1:-}"
+case "$mode" in
+kpi)
+    [[ $# -eq 3 ]] || { echo "usage: $0 kpi <a.jsonl.gz> <b.jsonl.gz>" >&2; exit 2; }
+    go build -o /tmp/totoscope-gate ./cmd/totoscope
+    exec /tmp/totoscope-gate gate "$2" "$3"
+    ;;
+bench)
+    baseline="BENCH_fabric.json"
+    [[ -f "$baseline" ]] || { echo "gate: no committed $baseline" >&2; exit 2; }
+    candidate="${2:-}"
+    if [[ -z "$candidate" ]]; then
+        candidate="$(mktemp)"
+        trap 'rm -f "$candidate"' EXIT
+        OUT="$candidate" ./scripts/bench.sh >/dev/null
+    fi
+    TOLERANCE="${TOLERANCE:-0.30}" awk -v base="$baseline" -v cand="$candidate" '
+    # Parse the flat one-benchmark-per-line JSON both files use.
+    function parse(file, ns, bytes, allocs,    line, name) {
+        while ((getline line < file) > 0) {
+            if (line !~ /"Benchmark/) continue
+            match(line, /"Benchmark[^"]*"/)
+            name = substr(line, RSTART + 1, RLENGTH - 2)
+            match(line, /"ns_per_op": *[0-9.]+/)
+            ns[name] = substr(line, RSTART + 13, RLENGTH - 13) + 0
+            match(line, /"bytes_per_op": *[0-9.]+/)
+            bytes[name] = substr(line, RSTART + 16, RLENGTH - 16) + 0
+            match(line, /"allocs_per_op": *[0-9.]+/)
+            allocs[name] = substr(line, RSTART + 17, RLENGTH - 17) + 0
+        }
+        close(file)
+    }
+    BEGIN {
+        tol = ENVIRON["TOLERANCE"] + 0
+        parse(base, bns, bbytes, ballocs)
+        parse(cand, cns, cbytes, callocs)
+        bad = 0
+        for (name in bns) {
+            if (!(name in cns)) {
+                printf "gate: %-34s MISSING from candidate\n", name
+                bad = 1
+                continue
+            }
+            slow = (cns[name] - bns[name]) / bns[name]
+            verdict = "ok"
+            if (slow > tol) { verdict = "SLOWER"; bad = 1 }
+            if (callocs[name] > ballocs[name]) { verdict = verdict " +ALLOCS"; bad = 1 }
+            printf "gate: %-34s %12.0f -> %12.0f ns/op (%+5.1f%%)  allocs %d -> %d  %s\n", \
+                name, bns[name], cns[name], 100 * slow, ballocs[name], callocs[name], verdict
+        }
+        for (name in cns) if (!(name in bns))
+            printf "gate: %-34s NEW (no baseline; informational)\n", name
+        if (bad) { print "gate: BENCH REGRESSION"; exit 3 }
+        print "gate: bench within tolerance"
+    }
+    ' /dev/null
+    ;;
+*)
+    echo "usage: $0 kpi <a> <b> | bench [candidate.json]" >&2
+    exit 2
+    ;;
+esac
