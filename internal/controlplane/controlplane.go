@@ -178,15 +178,15 @@ func (cp *ControlPlane) Stats() (creates, drops, redirects int) {
 // (or all editions when edition is nil), in sorted order.
 func (cp *ControlPlane) LiveDatabases(edition *slo.Edition) []string {
 	var out []string
-	for _, svc := range cp.cluster.LiveServices() {
+	cp.cluster.EachLiveService(func(svc *fabric.Service) {
 		if edition != nil {
 			e, err := ServiceEdition(svc)
 			if err != nil || e != *edition {
-				continue
+				return
 			}
 		}
 		out = append(out, svc.Name)
-	}
+	})
 	return out
 }
 
@@ -196,16 +196,16 @@ func (cp *ControlPlane) LiveDatabases(edition *slo.Edition) []string {
 func (cp *ControlPlane) OldestLiveDatabase(edition slo.Edition) string {
 	var best *fabric.Service
 	var bestTime time.Time
-	for _, svc := range cp.cluster.LiveServices() {
+	cp.cluster.EachLiveService(func(svc *fabric.Service) {
 		e, err := ServiceEdition(svc)
 		if err != nil || e != edition {
-			continue
+			return
 		}
 		if best == nil || svc.Created.Before(bestTime) {
 			best = svc
 			bestTime = svc.Created
 		}
-	}
+	})
 	if best == nil {
 		return ""
 	}

@@ -279,7 +279,7 @@ func (o *Orchestrator) Start() {
 		// viewer shows the run's coarse progression at a glance.
 		o.tickers = append(o.tickers, o.Clock.Every(time.Hour, func(now time.Time) {
 			o.obs.Emit("core.sim_hour", now.Add(-time.Hour), time.Hour,
-				obs.Int("live_dbs", len(o.Cluster.LiveServices())),
+				obs.Int("live_dbs", o.Cluster.LiveServiceCount()),
 				obs.Float("reserved_cores", o.Cluster.ReservedCores()),
 				obs.Float("disk_gb", o.Cluster.DiskUsage()),
 				obs.Int("failovers_total", o.Cluster.FailoverCount()),
@@ -323,10 +323,12 @@ func (o *Orchestrator) reportDisk(now time.Time) {
 	reports := 0
 	dt := now.Sub(o.lastReport).Seconds()
 	o.lastReport = now
-	for _, svc := range o.Cluster.LiveServices() {
+	// EachLiveService keeps this 20-minute sweep allocation-free; reports
+	// move replicas but never drop services, so the iteration is safe.
+	o.Cluster.EachLiveService(func(svc *fabric.Service) {
 		info, ok := o.dbinfo[svc.Name]
 		if !ok {
-			continue
+			return
 		}
 		var members []rgmanager.DBInfo
 		if pools.IsPoolService(svc) {
@@ -362,7 +364,7 @@ func (o *Orchestrator) reportDisk(now time.Time) {
 		if dt > 0 {
 			o.diskGBSeconds[svc.Name] += primaryLoad * dt
 		}
-	}
+	})
 	sp.End(obs.Int("reports", reports))
 }
 
@@ -370,10 +372,10 @@ func (o *Orchestrator) reportDisk(now time.Time) {
 func (o *Orchestrator) reportMemory(now time.Time) {
 	sp := o.obs.Span("core.report_memory")
 	reports := 0
-	for _, svc := range o.Cluster.LiveServices() {
+	o.Cluster.EachLiveService(func(svc *fabric.Service) {
 		info, ok := o.dbinfo[svc.Name]
 		if !ok {
-			continue
+			return
 		}
 		for _, rep := range svc.Replicas {
 			if rep.Node == nil {
@@ -392,7 +394,7 @@ func (o *Orchestrator) reportMemory(now time.Time) {
 				reports++
 			}
 		}
-	}
+	})
 	sp.End(obs.Int("reports", reports))
 }
 

@@ -3,7 +3,8 @@ package fabric
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
+	"strings"
 	"time"
 
 	"toto/internal/obs"
@@ -186,9 +187,19 @@ type Cluster struct {
 	reportsLost   int
 
 	// quorum-availability state (see topology.go); only maintained while
-	// a topology is configured.
+	// a topology is configured. The sweep is incremental: instead of
+	// re-evaluating every live service on each node transition, it visits
+	// only the services hosted on the triggering node, the dirty set
+	// (services whose replicas moved since the last sweep), and the
+	// services with an open quorum-loss window.
 	quorumLosses   int
 	quorumDowntime time.Duration
+	quorumDirty    []*Service // replicas moved since the last sweep
+	openQuorum     []*Service // open quorum-loss windows
+	quorumScratch  []*Service // reused sweep candidate buffer
+
+	// svcScratch is EachLiveService's reused sorted-sweep buffer.
+	svcScratch []*Service
 
 	// upgrade is the in-flight domain-upgrade walker, nil otherwise (see
 	// upgrade.go).
@@ -479,20 +490,63 @@ func (c *Cluster) Services() []*Service {
 	for _, s := range c.services {
 		out = append(out, s)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	sortServicesByName(out)
 	return out
 }
 
 // LiveServices returns the services that have not been dropped, sorted by
 // name.
 func (c *Cluster) LiveServices() []*Service {
-	var out []*Service
-	for _, s := range c.Services() {
+	out := make([]*Service, 0, len(c.services))
+	for _, s := range c.services {
 		if s.Alive() {
 			out = append(out, s)
 		}
 	}
+	sortServicesByName(out)
 	return out
+}
+
+// LiveServiceCount returns how many services are live, without building
+// the sorted slice LiveServices returns — the right call for periodic
+// gauges that only need the number.
+func (c *Cluster) LiveServiceCount() int {
+	n := 0
+	for _, s := range c.services {
+		if s.Alive() {
+			n++
+		}
+	}
+	return n
+}
+
+// sortServicesByName is the canonical service ordering every sweep uses;
+// slices.SortFunc avoids the reflection (and its allocation) sort.Slice
+// pays per call.
+func sortServicesByName(svcs []*Service) {
+	slices.SortFunc(svcs, func(a, b *Service) int { return strings.Compare(a.Name, b.Name) })
+}
+
+// EachLiveService calls fn for every live service in name order without
+// allocating: the sorted sweep buffer is owned by the cluster and reused
+// across calls. Periodic loops (load reporting, churn) should prefer this
+// over LiveServices, whose returned slice they would immediately discard.
+// fn must not drop services (creating is safe: the candidate set was
+// snapshotted before the first call).
+func (c *Cluster) EachLiveService(fn func(*Service)) {
+	buf := c.svcScratch
+	c.svcScratch = nil // a reentrant call gets its own buffer
+	buf = buf[:0]
+	for _, s := range c.services {
+		if s.Alive() {
+			buf = append(buf, s)
+		}
+	}
+	sortServicesByName(buf)
+	for _, s := range buf {
+		fn(s)
+	}
+	c.svcScratch = buf[:0]
 }
 
 // FailoverCount returns the total number of failover movements so far.
@@ -770,6 +824,10 @@ func (c *Cluster) moveReplicaCause(r *Replica, target *Node, metric MetricName, 
 
 	svc.FailoverCount++
 	svc.FailedOverCores += svc.ReservedCoresPerReplica
+	// The move changed which nodes host this replica set; the next quorum
+	// sweep must re-evaluate it even if no replica sits on the node whose
+	// transition triggers that sweep.
+	c.markQuorumDirty(svc)
 	spanName := "fabric.failover"
 	if kind == EventFailover {
 		// Unplanned: the SLA model prices this downtime (§5.1).

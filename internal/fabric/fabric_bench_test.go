@@ -210,9 +210,9 @@ func benchmarkSimulatedDay(b *testing.B, newObs func() *obs.Obs) {
 		clock.Every(time.Hour, func(now time.Time) {
 			hour++
 			c.CreateService(fmt.Sprintf("churn-%d-%d", i, hour), 1, 2, nil)
-			for _, svc := range c.LiveServices() {
+			c.EachLiveService(func(svc *Service) {
 				c.ReportLoad(svc.Replicas[0].ID, MetricDiskGB, float64(hour)*3)
-			}
+			})
 		})
 		clock.RunUntil(testStart.Add(24 * time.Hour))
 		c.Stop()
@@ -250,9 +250,9 @@ func BenchmarkSimulatedDayWithFaults(b *testing.B) {
 		clock.Every(time.Hour, func(now time.Time) {
 			hour++
 			c.CreateService(fmt.Sprintf("churn-%d-%d", i, hour), 1, 2, nil)
-			for _, svc := range c.LiveServices() {
+			c.EachLiveService(func(svc *Service) {
 				c.ReportLoad(svc.Replicas[0].ID, MetricDiskGB, float64(hour)*3)
-			}
+			})
 		})
 		clock.RunUntil(testStart.Add(24 * time.Hour))
 		c.Stop()

@@ -30,42 +30,14 @@ import (
 //     hard constraint, so any overlap is a bookkeeping bug).
 func CheckInvariants(c *Cluster) error {
 	for _, n := range c.nodes {
-		for _, m := range AllMetrics() {
-			sum := 0.0
-			for _, r := range n.replicas {
-				sum += r.Loads[m]
-			}
-			if math.Abs(sum-n.Load(m)) > 1e-6 {
-				return fmt.Errorf("node %s metric %s: cached total %v != replica sum %v",
-					n.ID, m, n.Load(m), sum)
-			}
+		if err := checkNodeTotals(n); err != nil {
+			return err
 		}
 	}
 	totalCores := 0.0
 	for _, svc := range c.LiveServices() {
-		primaries := 0
-		for i, r := range svc.Replicas {
-			if r.Role == Primary {
-				primaries++
-			}
-			if r.Node == nil {
-				return fmt.Errorf("live service %s has an unplaced replica", svc.Name)
-			}
-			for _, other := range svc.Replicas[:i] {
-				if other.Node == r.Node {
-					return fmt.Errorf("service %s has two replicas on %s", svc.Name, r.Node.ID)
-				}
-				if c.domainSpreadRequired(svc) && other.Node.FaultDomain == r.Node.FaultDomain {
-					return fmt.Errorf("service %s has two replicas in fault domain %d (%s, %s)",
-						svc.Name, r.Node.FaultDomain, other.Node.ID, r.Node.ID)
-				}
-			}
-			if r.Node.replicas[r.ID] != r {
-				return fmt.Errorf("replica %s not attached to its node", r.ID)
-			}
-		}
-		if primaries != 1 {
-			return fmt.Errorf("service %s has %d primaries", svc.Name, primaries)
+		if err := checkServiceInvariants(c, svc); err != nil {
+			return err
 		}
 		totalCores += svc.TotalReservedCores()
 	}
@@ -78,18 +50,80 @@ func CheckInvariants(c *Cluster) error {
 	return nil
 }
 
+// checkNodeTotals validates invariant 1 for a single node: the cached
+// per-metric totals equal the sum of the hosted replicas' loads.
+func checkNodeTotals(n *Node) error {
+	for _, m := range AllMetrics() {
+		sum := 0.0
+		for _, r := range n.replicas {
+			sum += r.Loads[m]
+		}
+		if math.Abs(sum-n.Load(m)) > 1e-6 {
+			return fmt.Errorf("node %s metric %s: cached total %v != replica sum %v",
+				n.ID, m, n.Load(m), sum)
+		}
+	}
+	return nil
+}
+
+// checkServiceInvariants validates invariants 2, 3, 5, and 7 for a single
+// live service: distinct nodes (and fault domains where required), exactly
+// one primary, every replica placed and attached to the node it points at.
+func checkServiceInvariants(c *Cluster, svc *Service) error {
+	primaries := 0
+	for i, r := range svc.Replicas {
+		if r.Role == Primary {
+			primaries++
+		}
+		if r.Node == nil {
+			return fmt.Errorf("live service %s has an unplaced replica", svc.Name)
+		}
+		for _, other := range svc.Replicas[:i] {
+			if other.Node == r.Node {
+				return fmt.Errorf("service %s has two replicas on %s", svc.Name, r.Node.ID)
+			}
+			if c.domainSpreadRequired(svc) && other.Node.FaultDomain == r.Node.FaultDomain {
+				return fmt.Errorf("service %s has two replicas in fault domain %d (%s, %s)",
+					svc.Name, r.Node.FaultDomain, other.Node.ID, r.Node.ID)
+			}
+		}
+		if r.Node.replicas[r.ID] != r {
+			return fmt.Errorf("replica %s not attached to its node", r.ID)
+		}
+	}
+	if primaries != 1 {
+		return fmt.Errorf("service %s has %d primaries", svc.Name, primaries)
+	}
+	return nil
+}
+
 // InvariantChecker continuously validates a cluster: it subscribes to
-// the cluster's event stream and runs CheckInvariants after every event,
-// plus a monotonicity check on the Naming Service version. Violations
-// accumulate (deduplicated by message) rather than aborting the run, so
-// a chaos schedule reports every distinct inconsistency it provoked.
+// the cluster's event stream and validates after every event, plus a
+// monotonicity check on the Naming Service version. Violations accumulate
+// (deduplicated by message) rather than aborting the run, so a chaos
+// schedule reports every distinct inconsistency it provoked.
+//
+// Validation is incremental. The high-frequency event kinds (service
+// creation, failovers, balance moves) touch exactly one replica set and
+// at most two nodes, so only that scope is re-checked — O(touched)
+// instead of O(cluster) per event. The rare structural kinds (drops,
+// node lifecycle transitions, upgrade walks) and every
+// invariantFullInterval-th scoped event still run the full cluster sweep,
+// which also covers the two global invariants (reserved-core sum, naming
+// version bound) the scoped check cannot see.
 type InvariantChecker struct {
 	c           *Cluster
 	lastVersion int64
 	checks      int
+	sinceFull   int
 	violations  []string
 	seen        map[string]bool
 }
+
+// invariantFullInterval bounds how many consecutive scoped checks may run
+// before a full cluster sweep: a global drift a scoped check cannot see
+// is caught at most this many events after it was introduced.
+const invariantFullInterval = 64
 
 // NewInvariantChecker attaches a continuous checker to the cluster. It
 // begins validating with the next emitted event.
@@ -105,7 +139,20 @@ func NewInvariantChecker(c *Cluster) *InvariantChecker {
 
 func (ic *InvariantChecker) onEvent(ev Event) {
 	ic.checks++
-	if err := CheckInvariants(ic.c); err != nil {
+	scoped := false
+	switch ev.Kind {
+	case EventServiceCreated, EventFailover, EventBalanceMove:
+		ic.sinceFull++
+		scoped = ic.sinceFull < invariantFullInterval
+	}
+	var err error
+	if scoped {
+		err = ic.checkEventScope(ev)
+	} else {
+		ic.sinceFull = 0
+		err = CheckInvariants(ic.c)
+	}
+	if err != nil {
 		ic.record(fmt.Sprintf("after %s at %s: %v", ev.Kind, ev.Time.Format("2006-01-02T15:04:05"), err))
 	}
 	if v := ic.c.naming.CurrentVersion(); v < ic.lastVersion {
@@ -113,6 +160,34 @@ func (ic *InvariantChecker) onEvent(ev Event) {
 	} else {
 		ic.lastVersion = v
 	}
+}
+
+// checkEventScope validates only the replica set and nodes the event
+// touched: the event's service with every node hosting one of its
+// replicas, plus the movement endpoints (From lost load on a move and no
+// longer appears among the service's replica nodes).
+func (ic *InvariantChecker) checkEventScope(ev Event) error {
+	c := ic.c
+	if svc := ev.Service; svc != nil && svc.Alive() {
+		if err := checkServiceInvariants(c, svc); err != nil {
+			return err
+		}
+		for _, r := range svc.Replicas {
+			if r.Node != nil {
+				if err := checkNodeTotals(r.Node); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if ev.From != "" {
+		if n := c.nodeByID(ev.From); n != nil {
+			if err := checkNodeTotals(n); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 func (ic *InvariantChecker) record(msg string) {

@@ -52,14 +52,35 @@ func (c *Cluster) QuorumLossCount() int { return c.quorumLosses }
 // windows.
 func (c *Cluster) QuorumDowntime() time.Duration { return c.quorumDowntime }
 
-// updateQuorum re-evaluates every live service's quorum availability
-// after a node lifecycle transition (drain, crash, restart). trigger is
-// the node whose transition prompted the sweep; it labels the loss
-// annotation with the fault domain the outage hit. A window that closes
-// adds its duration to the service's SLA-priced Downtime — a replica set
-// that cannot form a write quorum is down for its customer, which is
-// exactly the unavailability the paper's modeled-adjusted-revenue
-// penalty prices.
+// markQuorumDirty enqueues svc for re-evaluation at the next quorum
+// sweep. Replica movement is the only way a service's availability can
+// change between node transitions (targets are always up nodes, but a
+// promotion can land on a stranded secondary), so moveReplicaCause calls
+// this on every move. Inert without a configured topology.
+func (c *Cluster) markQuorumDirty(svc *Service) {
+	if !c.cfg.topologyEnabled() || svc.quorumDirty {
+		return
+	}
+	svc.quorumDirty = true
+	c.quorumDirty = append(c.quorumDirty, svc)
+}
+
+// updateQuorum re-evaluates quorum availability after a node lifecycle
+// transition (drain, crash, restart). trigger is the node whose
+// transition prompted the sweep; it labels the loss annotation with the
+// fault domain the outage hit. A window that closes adds its duration to
+// the service's SLA-priced Downtime — a replica set that cannot form a
+// write quorum is down for its customer, which is exactly the
+// unavailability the paper's modeled-adjusted-revenue penalty prices.
+//
+// The sweep is incremental: only services whose availability can have
+// changed are visited — those hosted on the triggering node, those whose
+// replicas moved since the last sweep (the dirty set), and those with an
+// open loss window (which a failover elsewhere may have silently
+// restored). The candidates are sorted by name, so the annotation stream
+// is byte-identical to the full sweep this replaces: any service absent
+// from the candidate set cannot change state, and a full sweep visits
+// the changing ones in exactly this order.
 //
 // Only called while a topology is configured: quorum semantics are part
 // of the topology model, and gating here keeps default runs byte-stable.
@@ -68,9 +89,34 @@ func (c *Cluster) updateQuorum(trigger *Node) {
 		return
 	}
 	now := c.clock.Now()
-	for _, svc := range c.LiveServices() {
+	buf := c.quorumScratch[:0]
+	add := func(svc *Service) {
+		if svc == nil || !svc.Alive() || svc.quorumQueued {
+			return
+		}
+		svc.quorumQueued = true
+		buf = append(buf, svc)
+	}
+	if trigger != nil {
+		// Map order is fine here: the merged candidate set is sorted below.
+		for _, r := range trigger.replicas {
+			add(r.service)
+		}
+	}
+	for _, svc := range c.quorumDirty {
+		svc.quorumDirty = false
+		add(svc)
+	}
+	c.quorumDirty = c.quorumDirty[:0]
+	for _, svc := range c.openQuorum {
+		add(svc)
+	}
+	sortServicesByName(buf)
+	for _, svc := range buf {
+		svc.quorumQueued = false
 		c.updateServiceQuorum(svc, trigger, now)
 	}
+	c.quorumScratch = buf[:0]
 }
 
 func (c *Cluster) updateServiceQuorum(svc *Service, trigger *Node, now time.Time) {
@@ -78,6 +124,7 @@ func (c *Cluster) updateServiceQuorum(svc *Service, trigger *Node, now time.Time
 	switch {
 	case !available && svc.quorumLostAt.IsZero():
 		svc.quorumLostAt = now
+		c.openQuorum = append(c.openQuorum, svc)
 		svc.QuorumLosses++
 		c.quorumLosses++
 		c.metrics.quorumLosses.Inc()
@@ -99,6 +146,12 @@ func (c *Cluster) updateServiceQuorum(svc *Service, trigger *Node, now time.Time
 func (c *Cluster) closeQuorumWindow(svc *Service, trigger *Node, now time.Time, detail string) {
 	window := now.Sub(svc.quorumLostAt)
 	svc.quorumLostAt = time.Time{}
+	for i, open := range c.openQuorum {
+		if open == svc {
+			c.openQuorum = append(c.openQuorum[:i], c.openQuorum[i+1:]...)
+			break
+		}
+	}
 	svc.Downtime += window
 	c.quorumDowntime += window
 	c.metrics.quorumSeconds.Observe(window.Seconds())
@@ -124,9 +177,14 @@ func (c *Cluster) CloseQuorumWindows() {
 		return
 	}
 	now := c.clock.Now()
-	for _, svc := range c.LiveServices() {
+	// closeQuorumWindow edits openQuorum in place; sweep a sorted copy so
+	// the run-end annotations keep the full sweep's name order.
+	open := append(c.quorumScratch[:0], c.openQuorum...)
+	sortServicesByName(open)
+	for _, svc := range open {
 		if !svc.quorumLostAt.IsZero() {
 			c.closeQuorumWindow(svc, nil, now, "run-end")
 		}
 	}
+	c.quorumScratch = open[:0]
 }

@@ -95,7 +95,7 @@ func (col *Collector) Sample(now time.Time) {
 	col.store.Series(SeriesPlannedMoves).Push(float64(planned - col.lastPlanned))
 	col.lastUnplanned, col.lastPlanned = unplanned, planned
 
-	col.store.Series(SeriesServices).Push(float64(len(c.LiveServices())))
+	col.store.Series(SeriesServices).Push(float64(c.LiveServiceCount()))
 	col.store.Series(SeriesUpNodes).Push(float64(c.UpNodes()))
 	col.store.Series(SeriesDensity).Push(density)
 }

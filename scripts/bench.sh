@@ -1,11 +1,16 @@
 #!/usr/bin/env bash
-# bench.sh — run the fabric hot-path benchmarks and record the results as
-# a machine-readable baseline.
+# bench.sh — run the fabric and simclock hot-path benchmarks and record
+# the results as a machine-readable baseline.
 #
 # Usage:
 #   scripts/bench.sh           # full run (benchtime 2s), writes BENCH_fabric.json
 #   scripts/bench.sh smoke     # single-iteration smoke run for CI: proves the
 #                              # benchmarks still compile and run, writes nothing
+#
+# Both modes fail (exit 3) when a benchmark recorded in the committed
+# BENCH_fabric.json does not appear in the run: a renamed or deleted
+# benchmark must surface as an explicit failure, never as a silently
+# shrunk baseline.
 #
 # Environment:
 #   BENCHTIME   overrides the -benchtime for the full run (default 2s)
@@ -22,20 +27,43 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BENCHES='^(BenchmarkPlacement|BenchmarkGreedyPlacement|BenchmarkPlace|BenchmarkPlaceWithTopology|BenchmarkScan|BenchmarkPLBScan|BenchmarkReportLoad|BenchmarkNamingService|BenchmarkSimulatedDay|BenchmarkSimulatedDayWithFaults|BenchmarkSimulatedDayJournaled)$'
+BENCHES='^(BenchmarkPlacement|BenchmarkGreedyPlacement|BenchmarkPlace|BenchmarkPlaceWithTopology|BenchmarkScan|BenchmarkPLBScan|BenchmarkReportLoad|BenchmarkNamingService|BenchmarkSimulatedDay|BenchmarkSimulatedDayWithFaults|BenchmarkSimulatedDayJournaled|BenchmarkClockSchedule|BenchmarkClockCancel)$'
+PKGS='./internal/fabric/ ./internal/simclock/'
 BENCHTIME="${BENCHTIME:-2s}"
 BENCHCOUNT="${BENCHCOUNT:-3}"
 OUT="${OUT:-BENCH_fabric.json}"
 
-if [[ "${1:-}" == "smoke" ]]; then
-    # Smoke mode: one iteration per benchmark, no baseline written, no
-    # comparison gate — this only guards against benchmark bit-rot.
-    exec go test ./internal/fabric/ -run '^$' -bench "$BENCHES" -benchtime 1x -benchmem
-fi
+# check_complete <raw-output>: every benchmark named in the committed
+# baseline must have produced at least one result line in this run.
+check_complete() {
+    local raw="$1" baseline="BENCH_fabric.json" name missing=0
+    [[ -f "$baseline" ]] || return 0
+    while IFS= read -r name; do
+        if ! grep -Eq "^${name}(-[0-9]+)?[[:space:]]" "$raw"; then
+            echo "bench: $name is in $baseline but missing from this run" >&2
+            missing=1
+        fi
+    done < <(grep -o '"Benchmark[^"]*"' "$baseline" | tr -d '"')
+    if [[ "$missing" -ne 0 ]]; then
+        echo "bench: FAIL — a baselined benchmark disappeared; rename the baseline entry deliberately or restore the benchmark" >&2
+        exit 3
+    fi
+}
 
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
-go test ./internal/fabric/ -run '^$' -bench "$BENCHES" -benchtime "$BENCHTIME" -count "$BENCHCOUNT" -benchmem | tee "$raw"
+
+if [[ "${1:-}" == "smoke" ]]; then
+    # Smoke mode: one iteration per benchmark, no baseline written, no
+    # timing gate — this guards against benchmark bit-rot (compile/run
+    # failures and silent disappearance), not against slowdowns.
+    go test $PKGS -run '^$' -bench "$BENCHES" -benchtime 1x -benchmem | tee "$raw"
+    check_complete "$raw"
+    exit 0
+fi
+
+go test $PKGS -run '^$' -bench "$BENCHES" -benchtime "$BENCHTIME" -count "$BENCHCOUNT" -benchmem | tee "$raw"
+check_complete "$raw"
 
 awk '
 /^Benchmark/ {
