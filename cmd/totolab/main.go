@@ -15,9 +15,11 @@
 //	totolab -densities 1.0,1.1,1.2,1.4 -repeats 2
 //	totolab -hours 144 -workers 4            # full-length runs, 4 sims at a time
 //	totolab -workers 1                       # serial reference
+//	totolab -traffic traffic.json            # drive request traffic in every cell
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -28,6 +30,7 @@ import (
 
 	"toto/internal/core"
 	"toto/internal/fleet"
+	"toto/internal/traffic"
 )
 
 func main() {
@@ -37,6 +40,7 @@ func main() {
 	bootstrapHours := flag.Float64("bootstrap-hours", 6, "bootstrap phase per run, in hours")
 	workers := flag.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
 	seed := flag.Uint64("seed", 0, "offset added to all base seeds")
+	trafficPath := flag.String("traffic", "", "JSON traffic spec file: drive request-level traffic in every cell")
 	verbose := flag.Bool("v", false, "print one row per run with its fingerprint")
 	flag.Parse()
 
@@ -60,6 +64,33 @@ func main() {
 		Seeds:     seeds,
 		Models:    core.DefaultModels().Set,
 		Workers:   *workers,
+	}
+	if *trafficPath != "" {
+		data, err := os.ReadFile(*trafficPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "totolab:", err)
+			os.Exit(1)
+		}
+		// Accept either a bare traffic spec or a full scenario file whose
+		// "traffic" section is lifted out, like totosim's -traffic.
+		var wrapper struct {
+			Traffic json.RawMessage `json:"traffic"`
+		}
+		if json.Unmarshal(data, &wrapper) == nil && wrapper.Traffic != nil {
+			data = wrapper.Traffic
+		}
+		ts, err := traffic.ParseSpec(data)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "totolab:", err)
+			os.Exit(1)
+		}
+		// Each cell gets its own arrival stream, derived from its matrix
+		// position so the fleet stays reproducible on any worker count.
+		cfg.Configure = func(spec fleet.RunSpec, sc *core.Scenario) {
+			cell := *ts
+			cell.Seed += uint64(spec.Index) * 6700417
+			sc.Traffic = &cell
+		}
 	}
 
 	cells := len(fleet.Matrix(cfg))
@@ -86,9 +117,13 @@ func main() {
 				continue
 			}
 			r := rr.Result
-			fmt.Printf("  %-9s creates=%-4d drops=%-4d failovers=%-3d movedCores=%-7.1f adjusted=$%-10.0f %6.2fs  fp=%s\n",
+			trafficCols := ""
+			if st := r.Traffic; st != nil {
+				trafficCols = fmt.Sprintf("p99=%-6.0fms errRate=%-7.4f ", st.P99Ms, st.ErrorRate)
+			}
+			fmt.Printf("  %-9s creates=%-4d drops=%-4d failovers=%-3d movedCores=%-7.1f adjusted=$%-10.0f %s%6.2fs  fp=%s\n",
 				rr.Spec.Name, r.Creates, r.Drops, r.UnplannedFailovers,
-				r.TotalFailedOverCores(), r.Revenue.Adjusted, rr.Elapsed.Seconds(), rr.Fingerprint)
+				r.TotalFailedOverCores(), r.Revenue.Adjusted, trafficCols, rr.Elapsed.Seconds(), rr.Fingerprint)
 		}
 	}
 

@@ -29,6 +29,7 @@ import (
 	"toto/internal/obs/journal"
 	"toto/internal/obs/timeseries"
 	"toto/internal/revenue"
+	"toto/internal/traffic"
 )
 
 func main() {
@@ -225,10 +226,87 @@ func runReport(args []string) error {
 
 	printTimelines(w, entries, st, *width)
 	printRootCauses(w, st)
+	printTraffic(w, entries)
 	printAlerts(w, entries)
 	printAvailability(w, entries)
 	printPenalty(w, st)
 	return nil
+}
+
+// printTraffic renders the request plane's failure attribution: shed
+// requests, breaker trips, denied retries, and final request errors,
+// each grouped by the root cause its causal chain reaches. Journals from
+// traffic-free runs carry no traffic annotations and skip the section.
+// Request errors whose chain dead-ends get a WARNING line (CI greps for
+// it: every request failure in a chaos run must trace to a fault).
+func printTraffic(w *os.File, entries []journal.Entry) {
+	idx := journal.Index(entries)
+	type agg struct {
+		shed, errors, denied float64
+		opens                int
+	}
+	byCause := map[string]*agg{}
+	get := func(root string) *agg {
+		a := byCause[root]
+		if a == nil {
+			a = &agg{}
+			byCause[root] = a
+		}
+		return a
+	}
+	var totalShed, totalErrors float64
+	var opens, closes int
+	var unknownErrors float64
+	for i := range entries {
+		e := &entries[i]
+		if e.Type != journal.TypeAnnotation {
+			continue
+		}
+		switch e.Kind {
+		case traffic.KindRequestShed:
+			root := journal.RootCause(idx, e)
+			get(root).shed += e.Value
+			totalShed += e.Value
+		case traffic.KindRequestErrors:
+			root := journal.RootCause(idx, e)
+			get(root).errors += e.Value
+			totalErrors += e.Value
+			if root == "none" || root == "unknown" {
+				unknownErrors += e.Value
+			}
+		case traffic.KindRetryBudgetExhausted:
+			get(journal.RootCause(idx, e)).denied += e.Value
+		case traffic.KindBreakerOpen:
+			get(journal.RootCause(idx, e)).opens++
+			opens++
+		case traffic.KindBreakerClosed:
+			closes++
+		}
+	}
+	if len(byCause) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\nrequest-plane failures by root cause (%.0f shed, %.0f errors, %d breaker opens / %d closes):\n",
+		totalShed, totalErrors, opens, closes)
+	fmt.Fprintf(w, "  %-10s %12s %12s %14s %9s\n", "cause", "shed", "errors", "retries denied", "opens")
+	causes := make([]string, 0, len(byCause))
+	for c := range byCause {
+		causes = append(causes, c)
+	}
+	sort.Slice(causes, func(i, j int) bool {
+		a, b := byCause[causes[i]], byCause[causes[j]]
+		if a.shed+a.errors != b.shed+b.errors {
+			return a.shed+a.errors > b.shed+b.errors
+		}
+		return causes[i] < causes[j]
+	})
+	for _, cause := range causes {
+		a := byCause[cause]
+		fmt.Fprintf(w, "  %-10s %12.0f %12.0f %14.0f %9d\n", cause, a.shed, a.errors, a.denied, a.opens)
+	}
+	if unknownErrors > 0 {
+		fmt.Fprintf(w, "  WARNING: %.0f request errors with unknown root cause\n", unknownErrors)
+	}
 }
 
 // printAlerts renders the watch layer's alert transitions with the root
@@ -387,6 +465,20 @@ func printHeatmaps(w *os.File, store *timeseries.Store, width int) {
 		fmt.Fprint(w, asciichart.Heatmap(labels, rows, width, 1.0))
 	}
 	for _, name := range []string{timeseries.SeriesFailovers, timeseries.SeriesPlannedMoves, timeseries.SeriesServices} {
+		s := store.Series(name)
+		if s.Len() == 0 {
+			continue
+		}
+		sum := s.Summary()
+		fmt.Fprintf(w, "%-26s %s  (max %.3g, mean %.3g)\n",
+			name, asciichart.SparklineN(s.Values(), width), sum.Max, sum.Mean)
+	}
+	// Request-plane rows: hourly latency quantiles and failure rates,
+	// present only when the run flowed traffic.
+	for _, name := range []string{
+		traffic.SeriesLatencyP50, traffic.SeriesLatencyP99, traffic.SeriesLatencyP999,
+		traffic.SeriesErrorRate, traffic.SeriesShed,
+	} {
 		s := store.Series(name)
 		if s.Len() == 0 {
 			continue

@@ -11,6 +11,8 @@
 //	totosim -out results/            # write samples/failovers/nodes CSVs
 //	totosim -topology 4x3 -upgrade 12   # 4 fault / 3 upgrade domains,
 //	                                    # domain upgrade at hour 12
+//	totosim -traffic traffic.json    # request-level traffic plane
+//	                                 # (bare spec or a scenario's "traffic" section)
 //
 // Scenario file format (JSON; all fields optional):
 //
@@ -51,6 +53,7 @@ import (
 	"toto/internal/obs/timeseries"
 	"toto/internal/slo"
 	"toto/internal/telemetry"
+	"toto/internal/traffic"
 )
 
 func main() {
@@ -60,6 +63,7 @@ func main() {
 	outDir := flag.String("out", "", "write telemetry CSVs to this directory")
 	chaosPath := flag.String("chaos", "", "JSON chaos spec file injected over the measured window")
 	chaosSeed := flag.Uint64("chaos-seed", 0, "override the chaos spec's seed (nonzero)")
+	trafficPath := flag.String("traffic", "", "JSON traffic spec file: drive request-level traffic over the measured window")
 	httpAddr := flag.String("http", "", "serve a live debug endpoint on this address (dashboard at /, pprof, /metrics, /journal/tail, /alerts, SSE /stream)")
 	topology := flag.String("topology", "", "stripe nodes over fault and upgrade domains, as FDxUD (e.g. 4x3)")
 	upgradeStart := flag.Float64("upgrade", 0, "schedule a safety-checked domain upgrade this many hours into the measured window (needs -topology or a scenario topology section)")
@@ -148,6 +152,25 @@ func main() {
 			fail(err)
 		}
 		spec.Chaos = cs
+	}
+	if *trafficPath != "" {
+		data, err := os.ReadFile(*trafficPath)
+		if err != nil {
+			fail(err)
+		}
+		// Accept either a bare traffic spec or a full scenario file whose
+		// "traffic" section is lifted out, mirroring -chaos.
+		var wrapper struct {
+			Traffic json.RawMessage `json:"traffic"`
+		}
+		if json.Unmarshal(data, &wrapper) == nil && wrapper.Traffic != nil {
+			data = wrapper.Traffic
+		}
+		ts, err := traffic.ParseSpec(data)
+		if err != nil {
+			fail(err)
+		}
+		spec.Traffic = ts
 	}
 	if *chaosSeed != 0 {
 		if spec.Chaos == nil {
@@ -286,6 +309,14 @@ func main() {
 		for _, v := range st.InvariantViolations {
 			fmt.Printf("chaos: VIOLATION: %s\n", v)
 		}
+	}
+	if st := res.Traffic; st != nil {
+		fmt.Printf("traffic: %d arrivals, %d dispatched, %d shed, %d breaker-rejected (%d opens, %d closes)\n",
+			st.Arrivals, st.Dispatched, st.Shed, st.BreakerRejected, st.BreakerOpens, st.BreakerCloses)
+		fmt.Printf("traffic: %d retries granted, %d denied, %d errors, error rate %.4f\n",
+			st.Retries, st.RetriesDenied, st.Errors, st.ErrorRate)
+		fmt.Printf("traffic: latency p50 %.1fms p99 %.1fms p999 %.1fms, %d/%d hours over the %gms p99 SLO\n",
+			st.P50Ms, st.P99Ms, st.P999Ms, st.SLOViolationHours, st.HoursObserved, st.SLOP99Ms)
 	}
 
 	if *outDir == "" {

@@ -12,6 +12,7 @@ import (
 	"toto/internal/revenue"
 	"toto/internal/slo"
 	"toto/internal/telemetry"
+	"toto/internal/traffic"
 )
 
 // Result is everything one benchmark run produced.
@@ -91,6 +92,10 @@ type Result struct {
 	// Chaos summarizes the injected fault schedule and the continuous
 	// invariant checker's verdict (nil for runs without a chaos spec).
 	Chaos *chaos.Stats
+	// Traffic summarizes the request-level traffic plane — arrivals,
+	// sheds, breaker activity, retries, tail-latency quantiles, and the
+	// hourly p99 SLO verdict (nil for runs without a traffic spec).
+	Traffic *traffic.Stats
 	// Alerts summarizes the watch layer's activity (nil for runs without
 	// alert rules); AlertHistory is every transition in firing order, each
 	// carrying the causal root its firing was bracketed to.
@@ -196,6 +201,16 @@ func Run(s *Scenario) (*Result, error) {
 		}
 		chaosEng.Start(measureStart)
 	}
+	// The traffic plane starts after the chaos engine so injected faults
+	// precede the tick that observes them at equal timestamps.
+	var trafficEng *traffic.Engine
+	if s.Traffic != nil {
+		trafficEng, err = traffic.NewEngine(o.Clock, o.Cluster, s.Traffic, s.SeriesStore, s.Obs)
+		if err != nil {
+			return nil, err
+		}
+		trafficEng.Start(measureStart)
+	}
 	o.Clock.RunUntil(measureStart.Add(s.Duration))
 	measSp.End(
 		obs.Int("failovers", o.Cluster.FailoverCount()),
@@ -265,6 +280,19 @@ func Run(s *Scenario) (*Result, error) {
 	if chaosEng != nil {
 		st := chaosEng.Stats()
 		res.Chaos = &st
+	}
+	if trafficEng != nil {
+		st := trafficEng.Stats()
+		res.Traffic = &st
+		// Export the tail-latency verdict next to the revenue gauges so
+		// journaled runs carry it in the final snapshot.
+		s.Obs.Gauge("traffic.requests").Set(float64(st.Arrivals))
+		s.Obs.Gauge("traffic.failed").Set(float64(st.Failed))
+		s.Obs.Gauge("traffic.error_rate").Set(st.ErrorRate)
+		s.Obs.Gauge("traffic.p50_ms").Set(st.P50Ms)
+		s.Obs.Gauge("traffic.p99_ms").Set(st.P99Ms)
+		s.Obs.Gauge("traffic.p999_ms").Set(st.P999Ms)
+		s.Obs.Gauge("traffic.slo_violation_hours").Set(float64(st.SLOViolationHours))
 	}
 	// Read alert stats before the deferred Stop tears the engine down.
 	if eng := o.Alerts(); eng != nil && eng.RuleCount() > 0 {

@@ -227,9 +227,10 @@ func (o *Orchestrator) WriteModels(set *models.ModelSet) error {
 func (o *Orchestrator) Start() {
 	o.Cluster.Start()
 	// The watch layer rides on the series store: if alert rules (or a
-	// pre-built engine) are configured without one, create a default
-	// store so the collector has somewhere to sample.
-	if o.Scenario.SeriesStore == nil && (o.Scenario.Alerts.Active() || o.Scenario.AlertEngine != nil) {
+	// pre-built engine, or a traffic plane pushing tail-latency series)
+	// are configured without one, create a default store so the collector
+	// has somewhere to sample.
+	if o.Scenario.SeriesStore == nil && (o.Scenario.Alerts.Active() || o.Scenario.AlertEngine != nil || o.Scenario.Traffic != nil) {
 		res := o.Scenario.NodeTelemetryInterval
 		if res <= 0 {
 			res = 10 * time.Minute

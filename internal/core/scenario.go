@@ -19,6 +19,7 @@ import (
 	"toto/internal/obs/journal"
 	"toto/internal/obs/timeseries"
 	"toto/internal/slo"
+	"toto/internal/traffic"
 )
 
 // ScenarioEpoch is the default simulated start instant: a Monday at
@@ -118,6 +119,14 @@ type Scenario struct {
 	// fault injector, switches the PLB into degraded mode, and validates
 	// cluster invariants after every event (see internal/chaos).
 	Chaos *chaos.Spec
+	// Traffic, when set, attaches the request-level traffic plane to the
+	// measured window: open-loop diurnal arrivals per service through
+	// admission control, circuit breakers, and budgeted retries, with
+	// request errors journaled inside causal brackets and tail-latency
+	// series pushed to the series store (see internal/traffic). nil (the
+	// default) constructs no engine at all — the fabric hot path is
+	// untouched.
+	Traffic *traffic.Spec
 	// FabricOverrides, when set, is applied to the fabric configuration
 	// after the scenario's defaults — the hook ablation benches use to
 	// flip PLB policies (greedy placement, degradation accounting,
@@ -189,6 +198,9 @@ func (s *Scenario) Validate() error {
 		}
 	}
 	if err := s.Alerts.Validate(); err != nil {
+		return fmt.Errorf("core: scenario %q: %w", s.Name, err)
+	}
+	if err := s.Traffic.Validate(); err != nil {
 		return fmt.Errorf("core: scenario %q: %w", s.Name, err)
 	}
 	for e, mix := range s.Population.SLOMix {

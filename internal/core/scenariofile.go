@@ -11,6 +11,7 @@ import (
 	"toto/internal/models"
 	"toto/internal/obs/alert"
 	"toto/internal/slo"
+	"toto/internal/traffic"
 )
 
 // ScenarioFile is the declarative JSON scenario schema consumed by
@@ -64,6 +65,10 @@ type ScenarioFile struct {
 	// rules evaluated on the sim clock (see internal/obs/alert for the
 	// schema). A -alerts flag on the CLI overrides this section.
 	Alerts *alert.Spec `json:"alerts"`
+	// Traffic optionally attaches the request-level traffic plane to the
+	// measured window (see internal/traffic for the schema). A -traffic
+	// flag on the CLI overrides this section.
+	Traffic *traffic.Spec `json:"traffic"`
 }
 
 // ParseScenarioFile decodes the JSON schema. Unknown fields are rejected
@@ -92,6 +97,9 @@ func ParseScenarioFile(data []byte) (*ScenarioFile, error) {
 		}
 	}
 	if err := sf.Alerts.Validate(); err != nil {
+		return nil, err
+	}
+	if err := sf.Traffic.Validate(); err != nil {
 		return nil, err
 	}
 	return &sf, nil
@@ -159,5 +167,6 @@ func (sf *ScenarioFile) Build(set *models.ModelSet) *Scenario {
 	}
 	sc.Chaos = sf.Chaos
 	sc.Alerts = sf.Alerts
+	sc.Traffic = sf.Traffic
 	return sc
 }

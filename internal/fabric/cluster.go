@@ -821,6 +821,12 @@ func (c *Cluster) moveReplicaCause(r *Replica, target *Node, metric MetricName, 
 	} else {
 		r.buildDoneAt = time.Time{}
 	}
+	// A crash evacuation rebuilds from surviving peers or backup — the
+	// copy that existed on the dead node is gone. A planned move's source
+	// copy keeps serving conceptually (make-before-break), so only crash
+	// rebuilds mark the replica as restoring; ServingStateAt uses this to
+	// tell a routine copy from a service with no intact data left.
+	r.restoring = cause == moveCauseCrash && build > 0
 
 	svc.FailoverCount++
 	svc.FailedOverCores += svc.ReservedCoresPerReplica

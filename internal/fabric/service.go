@@ -68,6 +68,11 @@ type Replica struct {
 	// when no build is pending. A node crash before this instant aborts
 	// the build and forces a deterministic re-placement (see faults.go).
 	buildDoneAt time.Time
+	// restoring marks an in-flight build whose source copy died with a
+	// crashed node: until buildDoneAt this replica has no usable data,
+	// unlike a planned move's copy whose source keeps serving. Stale once
+	// the build completes (Building returns false first).
+	restoring bool
 }
 
 // Building reports whether the replica has a data copy in flight at now.
@@ -166,6 +171,64 @@ func (s *Service) QuorumAvailable() bool {
 		}
 	}
 	return primaryUp && up >= s.ReplicaCount/2+1
+}
+
+// ServingState classifies a service's ability to serve requests at an
+// instant — the error-surfacing hook the request-level traffic plane
+// reads. It is derived on demand from replica placement, so computing it
+// adds nothing to the fabric's event paths.
+type ServingState int
+
+const (
+	// ServingHealthy means the primary is placed, up, and not rebuilding.
+	ServingHealthy ServingState = iota
+	// ServingDegraded means the primary is up but has a data copy in
+	// flight (a mid-build failover window): requests partially fail.
+	ServingDegraded
+	// ServingDown means the primary is unplaced or on a down node, or the
+	// replica set has lost write quorum: requests fail.
+	ServingDown
+)
+
+// String returns the serving-state name.
+func (s ServingState) String() string {
+	switch s {
+	case ServingHealthy:
+		return "healthy"
+	case ServingDegraded:
+		return "degraded"
+	default:
+		return "down"
+	}
+}
+
+// ServingStateAt reports whether the service can serve requests at now:
+// down when the primary is unplaced, on a down node, or the replica set
+// lacks write quorum; degraded while the primary has a data copy in
+// flight; healthy otherwise. A primary restoring after a crash (its data
+// died with the old node) can only limp along if another intact copy
+// survives — when a correlated outage forces the whole replica set into
+// restores at once there is nothing to serve from, and the service is
+// down. Planned moves never cause a down state by themselves: their
+// source copies conceptually keep serving (make-before-break), and
+// single-replica remote-store services never build at all.
+func (s *Service) ServingStateAt(now time.Time) ServingState {
+	p := s.Primary()
+	if p == nil || p.Node == nil || !p.Node.Up() || !s.QuorumAvailable() {
+		return ServingDown
+	}
+	if p.Building(now) {
+		if !p.restoring {
+			return ServingDegraded
+		}
+		for _, r := range s.Replicas {
+			if r != p && r.Node != nil && r.Node.Up() && !(r.Building(now) && r.restoring) {
+				return ServingDegraded
+			}
+		}
+		return ServingDown
+	}
+	return ServingHealthy
 }
 
 // newService builds a service and its replica shells (unplaced).

@@ -271,6 +271,27 @@ func Fingerprint(res *core.Result) string {
 	wf(res.Revenue.Adjusted)
 	wi(int64(res.Revenue.Breached))
 
+	// The traffic plane's counters join the digest only when a run flowed
+	// traffic, so traffic-free fleets keep their historical fingerprints.
+	if st := res.Traffic; st != nil {
+		wi(st.Arrivals)
+		wi(st.Admitted)
+		wi(st.Shed)
+		wi(st.BreakerRejected)
+		wi(st.Dispatched)
+		wi(st.Retries)
+		wi(st.RetriesDenied)
+		wi(st.Errors)
+		wi(int64(st.BreakerOpens))
+		wi(int64(st.BreakerHalfOpens))
+		wi(int64(st.BreakerCloses))
+		wi(int64(st.SLOViolationHours))
+		wf(st.ErrorRate)
+		wf(st.P50Ms)
+		wf(st.P99Ms)
+		wf(st.P999Ms)
+	}
+
 	wi(int64(len(res.Samples)))
 	for _, s := range res.Samples {
 		wi(s.Time.UnixNano())

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"toto/internal/core"
+	"toto/internal/traffic"
 )
 
 func testConfig(workers int) Config {
@@ -105,6 +106,70 @@ func TestFleetParallelMatchesSerial(t *testing.T) {
 	}
 	t.Logf("serial %v, parallel %v on %d workers (speedup %.1fx)",
 		serial.Elapsed, par.Elapsed, par.Workers, par.Speedup())
+}
+
+// TestFleetTrafficParallelDeterminism extends the determinism contract
+// to the request-level traffic plane: fleets that flow traffic must stay
+// bit-reproducible across worker counts, and the traffic counters must
+// join the fingerprint (a traffic-bearing run digests differently from
+// the identical traffic-free run, while traffic-free fingerprints are
+// untouched by the gate).
+func TestFleetTrafficParallelDeterminism(t *testing.T) {
+	withTraffic := func(workers int) Config {
+		cfg := testConfig(workers)
+		cfg.Densities = []float64{1.0, 1.2}
+		cfg.Configure = func(spec RunSpec, sc *core.Scenario) {
+			sc.Traffic = &traffic.Spec{Seed: 0xF00D + uint64(spec.Index), SLOP99Ms: 500}
+		}
+		return cfg
+	}
+	serial, err := Run(withTraffic(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs := serial.Errs(); len(errs) > 0 {
+		t.Fatalf("serial traffic fleet failed: %v", errs)
+	}
+	par, err := Run(withTraffic(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs := par.Errs(); len(errs) > 0 {
+		t.Fatalf("parallel traffic fleet failed: %v", errs)
+	}
+	for i := range serial.Runs {
+		s, p := serial.Runs[i], par.Runs[i]
+		if s.Result.Traffic == nil || s.Result.Traffic.Arrivals == 0 {
+			t.Fatalf("cell %s flowed no traffic", s.Spec.Name)
+		}
+		if s.Fingerprint != p.Fingerprint {
+			t.Errorf("cell %s: serial fingerprint %s != parallel %s",
+				s.Spec.Name, s.Fingerprint, p.Fingerprint)
+		}
+	}
+
+	// Same cells without traffic: the fabric outputs are identical (the
+	// plane observes, never feeds back), so only the gated counters may
+	// separate the digests.
+	base := withTraffic(1)
+	base.Configure = nil
+	plain, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plain.Runs {
+		pr, tr := plain.Runs[i], serial.Runs[i]
+		if pr.Result.Traffic != nil {
+			t.Fatalf("cell %s grew traffic stats without a spec", pr.Spec.Name)
+		}
+		if pr.Fingerprint == tr.Fingerprint {
+			t.Errorf("cell %s: traffic counters did not join the fingerprint", pr.Spec.Name)
+		}
+		if pr.Result.UnplannedFailovers != tr.Result.UnplannedFailovers ||
+			pr.Result.Revenue.Adjusted != tr.Result.Revenue.Adjusted {
+			t.Errorf("cell %s: traffic plane perturbed the fabric outputs", pr.Spec.Name)
+		}
+	}
 }
 
 func TestFleetReport(t *testing.T) {

@@ -86,6 +86,11 @@ func diurnal(hour int) float64 {
 	return 0.35 + 0.65*math.Exp(-d*d/(2*16))
 }
 
+// DiurnalShape exposes the within-day activity shape in (0, 1] so other
+// load generators (the request-level traffic plane) share the same curve
+// the churn traces are trained on.
+func DiurnalShape(hour int) float64 { return diurnal(hour) }
+
 // hourMean returns the modeled mean events/hour for an edition at t.
 func (cfg RegionConfig) hourMean(e slo.Edition, t time.Time, base float64) float64 {
 	m := base * diurnal(t.Hour())

@@ -1,0 +1,108 @@
+package traffic_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"toto/internal/fabric"
+	"toto/internal/rng"
+	"toto/internal/simclock"
+	"toto/internal/traffic"
+)
+
+// BenchmarkSimulatedDayWithTraffic is the traffic plane's cost on top of
+// a simulated fabric day: 10 nodes, 48 services, per-minute admission
+// ticks, and the noon outage with its shed/breaker/retry churn.
+func BenchmarkSimulatedDayWithTraffic(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		runTrafficDay(b, traffic.Spec{Seed: 7}, nil, true)
+	}
+}
+
+// BenchmarkSimulatedDayNoTraffic is the paired baseline: the identical
+// workload and outage with no traffic engine constructed, isolating the
+// plane's cost from the fabric's.
+func BenchmarkSimulatedDayNoTraffic(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		runFabricDay(b)
+	}
+}
+
+// runFabricDay is runTrafficDay minus the engine — the no-traffic
+// control group.
+func runFabricDay(tb testing.TB) {
+	tb.Helper()
+	clock := simclock.New(harnessStart)
+	cfg := fabric.DefaultConfig()
+	cfg.PLBSeed = 7
+	cfg.BalancingEnabled = true
+	cfg.BalanceSpread = 0.45
+	c := fabric.NewCluster(clock, 10, harnessCapacity(), cfg)
+	c.Start()
+	src := rng.New(0x7A7A)
+	for i := 0; i < 48; i++ {
+		name := fmt.Sprintf("db-%d", i)
+		if i%4 == 0 {
+			loads := map[fabric.MetricName]float64{fabric.MetricDiskGB: src.UniformRange(500, 800)}
+			_, _ = c.CreateServiceWithLoads(name, 4, 2, nil, loads)
+		} else {
+			loads := map[fabric.MetricName]float64{fabric.MetricDiskGB: src.UniformRange(200, 500)}
+			_, _ = c.CreateServiceWithLoads(name, 2, 2, nil, loads)
+		}
+	}
+	clock.Every(20*time.Minute, func(time.Time) {
+		for _, svc := range c.LiveServices() {
+			for _, rep := range svc.Replicas {
+				_ = c.ReportLoad(rep.ID, fabric.MetricDiskGB, rep.Load(fabric.MetricDiskGB)+src.UniformRange(0, 2.2))
+				_ = c.ReportLoad(rep.ID, fabric.MetricMemoryGB, src.UniformRange(1, 8))
+			}
+		}
+	})
+	crashed := []string{"node-1", "node-2", "node-3", "node-4", "node-5"}
+	clock.At(harnessStart.Add(12*time.Hour), func(time.Time) {
+		for _, id := range crashed {
+			_, _, _ = c.CrashNode(id)
+		}
+	})
+	clock.At(harnessStart.Add(13*time.Hour), func(time.Time) {
+		for _, id := range crashed {
+			_ = c.RestartNode(id)
+		}
+	})
+	clock.RunUntil(harnessStart.Add(24 * time.Hour))
+	c.Stop()
+}
+
+// TestNoTrafficZeroAlloc pins the tentpole's inertness guarantee: with no
+// traffic spec, no engine exists, and the code this package added to the
+// fabric (ServingStateAt, the restoring flag) contributes zero
+// allocations to the steady-state hot path.
+func TestNoTrafficZeroAlloc(t *testing.T) {
+	clock := simclock.New(harnessStart)
+	c := fabric.NewCluster(clock, 4, harnessCapacity(), fabric.DefaultConfig())
+	c.Start()
+	svc, err := c.CreateServiceWithLoads("db-0", 2, 2, nil,
+		map[fabric.MetricName]float64{fabric.MetricDiskGB: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := svc.Replicas[0]
+	// Warm the report path so one-time lazy state is off the books.
+	for i := 0; i < 8; i++ {
+		_ = c.ReportLoad(rep.ID, fabric.MetricMemoryGB, 4)
+	}
+	now := clock.Now()
+	if allocs := testing.AllocsPerRun(200, func() {
+		_ = svc.ServingStateAt(now)
+	}); allocs != 0 {
+		t.Errorf("ServingStateAt allocates %.1f per call on the no-traffic path", allocs)
+	}
+	if allocs := testing.AllocsPerRun(200, func() {
+		_ = c.ReportLoad(rep.ID, fabric.MetricMemoryGB, 4)
+	}); allocs != 0 {
+		t.Errorf("steady-state ReportLoad allocates %.1f per call", allocs)
+	}
+}

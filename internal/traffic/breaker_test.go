@@ -1,0 +1,181 @@
+package traffic
+
+import (
+	"testing"
+	"time"
+
+	"toto/internal/rng"
+)
+
+var brStart = time.Date(2020, time.June, 1, 0, 0, 0, 0, time.UTC)
+
+func testBreakerSpec() BreakerSpec {
+	return BreakerSpec{
+		FailureThreshold: 0.5,
+		MinRequests:      20,
+		OpenSeconds:      120,
+		HalfOpenProbes:   5,
+	}
+}
+
+// TestBreakerLifecycle walks the full closed → open → half-open → closed
+// cycle and the half-open → open regression edge.
+func TestBreakerLifecycle(t *testing.T) {
+	b := NewBreaker(testBreakerSpec())
+	now := brStart
+
+	if b.State() != BreakerClosed {
+		t.Fatalf("new breaker state = %v, want closed", b.State())
+	}
+	// A window below the threshold must not trip.
+	b.Record(now, 15, 5)
+	if b.State() != BreakerClosed {
+		t.Fatalf("tripped at 25%% failures: %v", b.State())
+	}
+	// A window at the threshold trips.
+	b.Record(now, 10, 10)
+	if b.State() != BreakerOpen {
+		t.Fatalf("did not trip at 50%% failures: %v", b.State())
+	}
+	// Open rejects everything until the window elapses.
+	pass, rejected := b.Admit(now.Add(time.Minute), 100)
+	if pass != 0 || rejected != 100 {
+		t.Fatalf("open breaker admitted %d, rejected %d", pass, rejected)
+	}
+	// Past the window it flips half-open and admits exactly the probes.
+	now = now.Add(2 * time.Minute)
+	pass, rejected = b.Admit(now, 100)
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state after open window = %v, want half-open", b.State())
+	}
+	if pass != 5 || rejected != 95 {
+		t.Fatalf("half-open admitted %d, rejected %d, want 5/95", pass, rejected)
+	}
+	// A failed probe re-opens...
+	b.Record(now, 4, 1)
+	if b.State() != BreakerOpen {
+		t.Fatalf("failed probe did not re-open: %v", b.State())
+	}
+	// ...and a clean probe set closes.
+	now = now.Add(3 * time.Minute)
+	pass, _ = b.Admit(now, 10)
+	if pass != 5 {
+		t.Fatalf("second half-open admitted %d probes, want 5", pass)
+	}
+	b.Record(now, 5, 0)
+	if b.State() != BreakerClosed {
+		t.Fatalf("clean probes did not close: %v", b.State())
+	}
+}
+
+// TestBreakerHalfOpenProbeCount pins the half-open contract: across any
+// sequence of Admit calls, a half-open breaker admits exactly the
+// configured probe count and not one more.
+func TestBreakerHalfOpenProbeCount(t *testing.T) {
+	cfg := testBreakerSpec()
+	b := NewBreaker(cfg)
+	now := brStart
+	b.Record(now, 0, 20) // trip
+	now = now.Add(3 * time.Minute)
+
+	admitted := 0
+	for i := 0; i < 10; i++ {
+		pass, _ := b.Admit(now, 2)
+		admitted += pass
+	}
+	if admitted != cfg.HalfOpenProbes {
+		t.Fatalf("half-open admitted %d across calls, want exactly %d", admitted, cfg.HalfOpenProbes)
+	}
+	if pass, rejected := b.Admit(now, 50); pass != 0 || rejected != 50 {
+		t.Fatalf("exhausted half-open admitted %d more", pass)
+	}
+}
+
+// breakerModelStep drives one operation against the breaker while
+// checking the state-machine invariants from outside: every observed
+// state change is a legal edge, and a half-open phase never admits more
+// than the probe allowance. transition() panics on an illegal edge, so
+// merely surviving the sequence is itself the core property.
+type breakerModel struct {
+	probesSinceHalfOpen int
+}
+
+func (m *breakerModel) step(t *testing.T, b *Breaker, now time.Time, op, a, c int) {
+	t.Helper()
+	pre := b.State()
+	var pass int
+	if op%2 == 0 {
+		pass, _ = b.Admit(now, a)
+		if post := b.State(); post == BreakerHalfOpen {
+			if pre == BreakerOpen {
+				m.probesSinceHalfOpen = 0
+			}
+			m.probesSinceHalfOpen += pass
+			if m.probesSinceHalfOpen > b.cfg.HalfOpenProbes {
+				t.Fatalf("half-open admitted %d probes, allowance %d",
+					m.probesSinceHalfOpen, b.cfg.HalfOpenProbes)
+			}
+		} else if pass > a {
+			t.Fatalf("admitted %d of %d", pass, a)
+		}
+	} else {
+		b.Record(now, a, c)
+	}
+	post := b.State()
+	if pre != post && !legalTransitions[[2]BreakerState{pre, post}] {
+		t.Fatalf("observed illegal transition %v -> %v", pre, post)
+	}
+	if post != BreakerClosed && post != BreakerOpen && post != BreakerHalfOpen {
+		t.Fatalf("invalid state %d", post)
+	}
+}
+
+// TestBreakerRandomOps is the in-repo property test: long seeded random
+// operation sequences against several configurations. The fuzz target
+// below explores further when run with -fuzz.
+func TestBreakerRandomOps(t *testing.T) {
+	for seed := uint64(1); seed <= 20; seed++ {
+		src := rng.New(seed)
+		cfg := BreakerSpec{
+			FailureThreshold: src.Float64(),
+			MinRequests:      1 + src.Intn(40),
+			OpenSeconds:      1 + src.Float64()*300,
+			HalfOpenProbes:   1 + src.Intn(10),
+		}
+		b := NewBreaker(cfg)
+		m := &breakerModel{}
+		now := brStart
+		for i := 0; i < 2000; i++ {
+			now = now.Add(time.Duration(src.Intn(90)) * time.Second)
+			m.step(t, b, now, src.Intn(2), src.Intn(50), src.Intn(50))
+		}
+	}
+}
+
+// FuzzBreaker feeds arbitrary operation tapes to the breaker: each
+// 3-byte group is (advance seconds, admit count | successes, failures).
+// The breaker must never panic (transition() panics on any edge outside
+// the legal set) and never admit more probes than configured.
+func FuzzBreaker(f *testing.F) {
+	f.Add([]byte{10, 30, 0, 60, 5, 5, 200, 9, 9})
+	f.Add([]byte{0, 0, 0})
+	f.Add([]byte{255, 255, 255, 1, 1, 1, 130, 20, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 3 {
+			return
+		}
+		cfg := BreakerSpec{
+			FailureThreshold: float64(data[0]) / 255,
+			MinRequests:      1 + int(data[1])%30,
+			OpenSeconds:      float64(1 + int(data[2])%200),
+			HalfOpenProbes:   1 + int(data[0])%8,
+		}
+		b := NewBreaker(cfg)
+		m := &breakerModel{}
+		now := brStart
+		for i := 3; i+2 < len(data); i += 3 {
+			now = now.Add(time.Duration(data[i]) * time.Second)
+			m.step(t, b, now, i/3, int(data[i+1]), int(data[i+2]))
+		}
+	})
+}

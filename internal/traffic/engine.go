@@ -1,0 +1,564 @@
+package traffic
+
+import (
+	"fmt"
+	"time"
+
+	"toto/internal/fabric"
+	"toto/internal/obs"
+	"toto/internal/obs/journal"
+	"toto/internal/obs/timeseries"
+	"toto/internal/rng"
+	"toto/internal/simclock"
+	"toto/internal/trace"
+)
+
+// Annotation kinds the engine emits into the causal journal. None of
+// them are anchors (journal.AnchorClass returns "" for all of them), so
+// traffic annotations are always leaves chaining back to the fault that
+// explains them — never to each other's consequences.
+const (
+	KindRequestShed          = "request-shed"
+	KindBreakerOpen          = "breaker-open"
+	KindBreakerHalfOpen      = "breaker-half-open"
+	KindBreakerClosed        = "breaker-closed"
+	KindRetryBudgetExhausted = "retry-budget-exhausted"
+	KindRequestErrors        = "request-errors"
+)
+
+// Timeseries the engine pushes hourly into the run's series store.
+const (
+	SeriesLatencyP50  = "traffic.latency.p50_ms"
+	SeriesLatencyP99  = "traffic.latency.p99_ms"
+	SeriesLatencyP999 = "traffic.latency.p999_ms"
+	SeriesErrorRate   = "traffic.error.rate"
+	SeriesRequests    = "traffic.requests.delta"
+	SeriesErrors      = "traffic.errors.delta"
+	SeriesShed        = "traffic.shed.delta"
+)
+
+const (
+	// anchorHorizon is how far back a causal anchor may be and still
+	// explain a shed, breaker trip, or request error.
+	anchorHorizon = 2 * time.Hour
+	// budgetBurstTicks sizes the retry-token bucket in ticks of refill.
+	budgetBurstTicks = 4
+	// colocLatencyFactor is the per-co-located-replica latency tax on the
+	// primary's node (noisy neighbours on a dense node).
+	colocLatencyFactor = 0.01
+)
+
+// anchorRank orders anchor classes by how exceptional they are, mirroring
+// the alert engine: a chaos injection outranks the violations cascading
+// from it, so request errors chain to the true incident.
+var anchorRank = []string{
+	"chaos", "crash", "quorum", "upgrade", "drain", "forced", "resize",
+	"violation", "balance",
+}
+
+// anchor is the most recent causal anchor seen for one class.
+type anchor struct {
+	seq  uint64
+	kind fabric.CauseKind
+	time time.Time
+}
+
+// Stats summarizes the plane's activity for the run result.
+type Stats struct {
+	Arrivals        int64 // open-loop requests generated
+	Admitted        int64 // past the front-end token bucket
+	Queued          int64 // tick-end queue occupancy, summed
+	Shed            int64 // dropped on admission overflow
+	BreakerRejected int64 // rejected by an open breaker
+	Dispatched      int64 // attempts sent to backends, retries included
+	Retries         int64 // retry attempts granted by the budget
+	RetriesDenied   int64 // retry attempts the budget refused
+	Errors          int64 // dispatched requests that finally failed
+	Failed          int64 // user-visible failures: shed + rejected + errors
+	Batches         int64 // dispatch batches
+
+	BreakerOpens     int
+	BreakerHalfOpens int
+	BreakerCloses    int
+
+	HoursObserved     int
+	SLOViolationHours int // hours whose p99 exceeded the SLO
+	SLOP99Ms          float64
+
+	ErrorRate            float64 // Failed / Arrivals
+	P50Ms, P99Ms, P999Ms float64 // whole-run latency quantiles
+}
+
+// svcState is one service's front-end state.
+type svcState struct {
+	br          *Breaker
+	retryTokens float64
+	queued      int
+	// openSeq/openKind chain the breaker lifecycle: the open annotation's
+	// journal seq and root cause, so half-open and closed chain to it.
+	openSeq  uint64
+	openKind fabric.CauseKind
+}
+
+// Engine drives the traffic plane on the simulation clock. It must only
+// be used from the simulation goroutine. Construct with NewEngine and
+// call Start at the measured window's opening; the engine is inert until
+// then, and a run without a Spec never constructs one at all.
+type Engine struct {
+	clock   *simclock.Clock
+	cluster *fabric.Cluster
+	spec    Spec // resolved: no zero knobs
+	store   *timeseries.Store
+	o       *obs.Obs
+
+	// One independent stream per randomness channel, so an error draw can
+	// never perturb an arrival count.
+	arrivalRnd *rng.Source
+	errorRnd   *rng.Source
+	latencyRnd *rng.Source
+
+	tickEvery time.Duration
+	tokens    float64
+	svc       map[string]*svcState
+	anchors   map[string]anchor
+
+	ticker  *simclock.Ticker
+	flusher *simclock.Ticker
+	started bool
+
+	stats    Stats
+	hourHist hist
+	runHist  hist
+
+	hourArrivals int64
+	hourFailed   int64
+	hourShed     int64
+}
+
+// NewEngine builds an engine for the given cluster. The spec is
+// validated and its defaults resolved; store may be nil (no series are
+// recorded then).
+func NewEngine(clock *simclock.Clock, cluster *fabric.Cluster, spec *Spec, store *timeseries.Store, o *obs.Obs) (*Engine, error) {
+	if spec == nil {
+		return nil, fmt.Errorf("traffic: nil spec")
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	resolved := spec.withDefaults()
+	root := rng.New(resolved.Seed)
+	return &Engine{
+		clock:      clock,
+		cluster:    cluster,
+		spec:       resolved,
+		store:      store,
+		o:          o,
+		arrivalRnd: root.Split("arrivals"),
+		errorRnd:   root.Split("errors"),
+		latencyRnd: root.Split("latency"),
+		tickEvery:  time.Duration(resolved.TickSeconds * float64(time.Second)),
+		svc:        make(map[string]*svcState),
+		anchors:    make(map[string]anchor),
+	}, nil
+}
+
+// Start subscribes to the cluster's causal streams (anchor tracking,
+// service-drop cleanup) and begins ticking. Idempotent.
+func (e *Engine) Start(from time.Time) {
+	if e.started {
+		return
+	}
+	e.started = true
+	e.cluster.SubscribeAnnotations(e.onAnnotation)
+	e.cluster.Subscribe(e.onEvent)
+	e.ticker = e.clock.Every(e.tickEvery, e.tick)
+	e.flusher = e.clock.Every(time.Hour, e.flush)
+	e.o.Instant("traffic.start",
+		obs.I64("seed", int64(e.spec.Seed)),
+		obs.Float("per_core_rps", e.spec.PerCoreRPS),
+	)
+}
+
+// Stop halts the tickers. The subscriptions stay attached (the fabric
+// has no unsubscribe) but see no further simulated time.
+func (e *Engine) Stop() {
+	if e.ticker != nil {
+		e.ticker.Stop()
+		e.ticker = nil
+	}
+	if e.flusher != nil {
+		e.flusher.Stop()
+		e.flusher = nil
+	}
+}
+
+// Stats returns the plane's totals so far, with whole-run latency
+// quantiles and the partial hour folded in.
+func (e *Engine) Stats() Stats {
+	st := e.stats
+	comb := e.runHist
+	comb.merge(&e.hourHist)
+	st.P50Ms = comb.quantile(0.50)
+	st.P99Ms = comb.quantile(0.99)
+	st.P999Ms = comb.quantile(0.999)
+	st.Failed = st.Shed + st.BreakerRejected + st.Errors
+	if st.Arrivals > 0 {
+		st.ErrorRate = float64(st.Failed) / float64(st.Arrivals)
+	}
+	st.SLOP99Ms = e.spec.SLOP99Ms
+	return st
+}
+
+// onAnnotation tracks causal anchors, mirroring the alert engine. The
+// traffic plane's own annotations are not anchors (AnchorClass returns
+// "" for them), so a shed can never be "explained" by another shed.
+func (e *Engine) onAnnotation(a fabric.Annotation) {
+	class := journal.AnchorClass(a.Kind)
+	if class == "" {
+		return
+	}
+	kind := a.Cause
+	if kind == fabric.CauseNone {
+		if k, ok := fabric.ParseCause(class); ok {
+			kind = k
+		}
+	}
+	e.anchors[class] = anchor{seq: a.Seq, kind: kind, time: a.Time}
+}
+
+// onEvent drops per-service state when the service goes away.
+func (e *Engine) onEvent(ev fabric.Event) {
+	if ev.Kind == fabric.EventServiceDropped && ev.Service != nil {
+		delete(e.svc, ev.Service.Name)
+	}
+}
+
+// bestAnchor returns the most exceptional anchor within the horizon.
+func (e *Engine) bestAnchor(now time.Time) (uint64, fabric.CauseKind) {
+	for _, class := range anchorRank {
+		a, ok := e.anchors[class]
+		if ok && now.Sub(a.time) <= anchorHorizon {
+			return a.seq, a.kind
+		}
+	}
+	return 0, fabric.CauseNone
+}
+
+// annotate emits one traffic annotation bracketed to the given cause.
+func (e *Engine) annotate(kind string, now time.Time, svc string, value, limit float64, detail string, causeSeq uint64, causeKind fabric.CauseKind) uint64 {
+	prev := e.cluster.BeginCause(causeKind, causeSeq)
+	seq := e.cluster.Annotate(fabric.Annotation{
+		Kind:    kind,
+		Time:    now,
+		Service: svc,
+		Value:   value,
+		Limit:   limit,
+		Detail:  detail,
+	})
+	e.cluster.EndCause(prev)
+	return seq
+}
+
+// tick is one admission round: refill the front-end token bucket from
+// the surviving node fraction, then serve every live service in the
+// cluster's deterministic name order.
+func (e *Engine) tick(now time.Time) {
+	shape := trace.DiurnalShape(now.Hour())
+	if wd := now.Weekday(); wd == time.Saturday || wd == time.Sunday {
+		shape *= e.spec.WeekendFactor
+	}
+
+	reserved := 0.0
+	e.cluster.EachLiveService(func(s *fabric.Service) {
+		reserved += s.TotalReservedCores()
+	})
+	upFrac := 1.0
+	if n := len(e.cluster.Nodes()); n > 0 {
+		upFrac = float64(e.cluster.UpNodes()) / float64(n)
+	}
+	// The front end is provisioned for peak demand; losing nodes shrinks
+	// it proportionally, which is where graceful degradation comes from:
+	// overflow is shed at the door instead of melting the survivors.
+	refill := e.spec.AdmitFactor * e.spec.PerCoreRPS * reserved * upFrac * e.spec.TickSeconds
+	e.tokens += refill
+	if burst := refill * e.spec.BurstTicks; e.tokens > burst {
+		e.tokens = burst
+	}
+
+	e.cluster.EachLiveService(func(s *fabric.Service) {
+		e.serveOne(now, s, shape)
+	})
+}
+
+// serveOne runs one service's tick: open-loop arrivals, admission with
+// bounded queueing and shedding, the circuit breaker, dispatch against
+// the service's serving state, budgeted retries, and latency accounting.
+func (e *Engine) serveOne(now time.Time, s *fabric.Service, shape float64) {
+	st := e.svc[s.Name]
+	if st == nil {
+		st = &svcState{br: NewBreaker(e.spec.Breaker)}
+		e.svc[s.Name] = st
+	}
+
+	mean := e.spec.PerCoreRPS * s.TotalReservedCores() * shape * e.spec.TickSeconds
+	n := 0
+	if mean > 0 {
+		n = e.arrivalRnd.Poisson(mean)
+	}
+	e.stats.Arrivals += int64(n)
+	e.hourArrivals += int64(n)
+
+	// Admission: requests queued last tick drain first, then fresh
+	// arrivals; overflow beyond the bounded queue is shed — journaled,
+	// never silent.
+	waited := st.queued
+	demand := waited + n
+	take := demand
+	if t := int(e.tokens); t < take {
+		take = t
+	}
+	e.tokens -= float64(take)
+	overflow := demand - take
+	st.queued = overflow
+	if st.queued > e.spec.QueueDepth {
+		st.queued = e.spec.QueueDepth
+	}
+	if shed := overflow - st.queued; shed > 0 {
+		e.stats.Shed += int64(shed)
+		e.hourShed += int64(shed)
+		e.hourFailed += int64(shed)
+		aSeq, aKind := e.bestAnchor(now)
+		e.annotate(KindRequestShed, now, s.Name, float64(shed), float64(demand), "admission-overflow", aSeq, aKind)
+	}
+	e.stats.Queued += int64(st.queued)
+	e.stats.Admitted += int64(take)
+
+	// Circuit breaker: an open breaker whose window elapsed flips to
+	// half-open inside Admit and lets exactly the probe count through.
+	preAdmit := st.br.State()
+	pass, rejected := st.br.Admit(now, take)
+	postAdmit := st.br.State()
+	if postAdmit == BreakerHalfOpen && preAdmit == BreakerOpen {
+		e.stats.BreakerHalfOpens++
+		st.openSeq = e.annotate(KindBreakerHalfOpen, now, s.Name,
+			float64(e.spec.Breaker.HalfOpenProbes), 0, "probing", st.openSeq, st.openKind)
+	}
+	if rejected > 0 {
+		e.stats.BreakerRejected += int64(rejected)
+		e.hourFailed += int64(rejected)
+	}
+
+	// Dispatch: the serving state is the fabric's error-surfacing hook —
+	// crashes, quorum loss, and mid-build failovers become failures here.
+	health := s.ServingStateAt(now)
+	fail := 0
+	switch health {
+	case fabric.ServingDown:
+		fail = pass
+	case fabric.ServingDegraded:
+		fail = int(float64(pass)*e.spec.DegradedErrorRate + 0.5)
+	default:
+		if e.spec.BaseErrorRate > 0 && pass > 0 {
+			fail = e.errorRnd.Poisson(float64(pass) * e.spec.BaseErrorRate)
+			if fail > pass {
+				fail = pass
+			}
+		}
+	}
+	e.stats.Dispatched += int64(pass)
+
+	var meanMs float64
+	if pass > 0 {
+		meanMs = e.latencyMs(s, pass)
+	}
+
+	// Retries: the budget refills from fresh arrivals only, so a retry
+	// storm is capped at BudgetRatio of offered load — no amplification.
+	st.retryTokens += float64(n) * e.spec.Retry.BudgetRatio
+	if limit := mean*e.spec.Retry.BudgetRatio*budgetBurstTicks + 1; st.retryTokens > limit {
+		st.retryTokens = limit
+	}
+	desired := fail * (e.spec.Retry.MaxAttempts - 1)
+	granted := desired
+	if g := int(st.retryTokens); g < granted {
+		granted = g
+	}
+	st.retryTokens -= float64(granted)
+	if short := desired - granted; short > 0 {
+		e.stats.RetriesDenied += int64(short)
+		aSeq, aKind := e.bestAnchor(now)
+		e.annotate(KindRetryBudgetExhausted, now, s.Name, float64(short), float64(desired), "", aSeq, aKind)
+	}
+	e.stats.Retries += int64(granted)
+	e.stats.Dispatched += int64(granted)
+
+	// Retries rescue transient failures (a degraded primary answers half
+	// the time, a healthy one nearly always) but not a down service.
+	retriable := fail
+	if granted < retriable {
+		retriable = granted
+	}
+	saved := 0
+	switch health {
+	case fabric.ServingDegraded:
+		saved = retriable / 2
+	case fabric.ServingHealthy:
+		saved = retriable
+	}
+	errors := fail - saved
+	if errors > 0 {
+		e.stats.Errors += int64(errors)
+		e.hourFailed += int64(errors)
+		aSeq, aKind := e.bestAnchor(now)
+		e.annotate(KindRequestErrors, now, s.Name, float64(errors), float64(pass), health.String(), aSeq, aKind)
+	}
+
+	// Feed first-attempt outcomes back to the breaker and journal its
+	// transitions: trips anchor to the incident, recoveries chain to the
+	// trip so the whole lifecycle is one walkable chain.
+	preRecord := st.br.State()
+	if pass > 0 {
+		st.br.Record(now, pass-fail, fail)
+	}
+	switch post := st.br.State(); {
+	case post == BreakerOpen && preRecord != BreakerOpen:
+		e.stats.BreakerOpens++
+		aSeq, aKind := e.bestAnchor(now)
+		if aSeq == 0 && st.openSeq != 0 {
+			// Re-opened beyond the anchor horizon: chain the lifecycle.
+			aSeq, aKind = st.openSeq, st.openKind
+		}
+		st.openSeq = e.annotate(KindBreakerOpen, now, s.Name, float64(fail), float64(pass), health.String(), aSeq, aKind)
+		st.openKind = aKind
+	case post == BreakerClosed && preRecord == BreakerHalfOpen:
+		e.stats.BreakerCloses++
+		e.annotate(KindBreakerClosed, now, s.Name, 0, 0, "recovered", st.openSeq, st.openKind)
+		st.openSeq, st.openKind = 0, fabric.CauseNone
+	}
+
+	// Latency accounting for the requests that succeeded: queue-drained
+	// requests waited about half a tick, retried ones their backoff.
+	okCount := pass - errors
+	if okCount <= 0 {
+		return
+	}
+	if saved > okCount {
+		saved = okCount
+	}
+	fromQueue := waited
+	if fromQueue > okCount-saved {
+		fromQueue = okCount - saved
+	}
+	e.observe(saved, meanMs+e.backoffMs())
+	e.observe(fromQueue, meanMs+e.spec.TickSeconds*1000/2)
+	e.observe(okCount-saved-fromQueue, meanMs)
+}
+
+// latencyMs models one tick's mean request latency for a service: batch-
+// amortized overhead plus a base service time inflated by the primary
+// node's core utilization and replica co-location.
+func (e *Engine) latencyMs(s *fabric.Service, pass int) float64 {
+	batches := (pass + e.spec.BatchSize - 1) / e.spec.BatchSize
+	e.stats.Batches += int64(batches)
+	fill := float64(pass) / float64(batches)
+	m := e.spec.OverheadMs/fill + e.spec.BaseLatencyMs
+	if p := s.Primary(); p != nil && p.Node != nil {
+		node := p.Node
+		capc := node.Capacity[fabric.MetricCores] * e.cluster.Density()
+		util := 0.0
+		if capc > 0 {
+			util = node.Load(fabric.MetricCores) / capc
+		}
+		if util > 0.95 {
+			util = 0.95
+		}
+		coloc := 1 + colocLatencyFactor*float64(node.ReplicaCount()-1)
+		m = e.spec.OverheadMs/fill + e.spec.BaseLatencyMs/(1-util)*coloc
+	}
+	return m
+}
+
+// backoffMs is the modeled wait of a successful retry: the mean of the
+// exponential ladder min(base*2^k, max), jittered once per service tick.
+func (e *Engine) backoffMs() float64 {
+	r := e.spec.Retry
+	total, steps := 0.0, 0
+	b := r.BackoffBaseMs
+	for k := 1; k < r.MaxAttempts; k++ {
+		if b > r.BackoffMaxMs {
+			b = r.BackoffMaxMs
+		}
+		total += b
+		steps++
+		b *= 2
+	}
+	if steps == 0 {
+		return 0
+	}
+	mean := total / float64(steps)
+	if r.Jitter > 0 {
+		mean *= 1 + r.Jitter*(e.latencyRnd.Float64()-0.5)
+	}
+	return mean
+}
+
+// latSpread turns a per-tick mean latency into a fixed distribution:
+// cumulative fractions of the tick's requests at multiples of the mean.
+// Deterministic integer allocation — no per-request randomness.
+var latSpread = []struct{ cum, mult float64 }{
+	{0.50, 0.80},
+	{0.85, 1.05},
+	{0.95, 1.60},
+	{0.99, 3.00},
+	{1.00, 8.00},
+}
+
+// observe records count successful requests around mean ms.
+func (e *Engine) observe(count int, ms float64) {
+	if count <= 0 {
+		return
+	}
+	assigned := int64(0)
+	for _, qs := range latSpread {
+		upto := int64(qs.cum*float64(count) + 0.5)
+		if upto > int64(count) {
+			upto = int64(count)
+		}
+		if k := upto - assigned; k > 0 {
+			e.hourHist.add(ms*qs.mult, k)
+			assigned = upto
+		}
+	}
+	if k := int64(count) - assigned; k > 0 {
+		e.hourHist.add(ms*latSpread[len(latSpread)-1].mult, k)
+	}
+}
+
+// flush closes one observation hour: latency quantiles and rates go to
+// the series store (alertable like any other series), the hour's p99 is
+// scored against the SLO, and the histogram folds into the run total.
+func (e *Engine) flush(now time.Time) {
+	p50 := e.hourHist.quantile(0.50)
+	p99 := e.hourHist.quantile(0.99)
+	p999 := e.hourHist.quantile(0.999)
+	rate := 0.0
+	if e.hourArrivals > 0 {
+		rate = float64(e.hourFailed) / float64(e.hourArrivals)
+	}
+	if e.store != nil {
+		e.store.Series(SeriesLatencyP50).Push(p50)
+		e.store.Series(SeriesLatencyP99).Push(p99)
+		e.store.Series(SeriesLatencyP999).Push(p999)
+		e.store.Series(SeriesErrorRate).Push(rate)
+		e.store.Series(SeriesRequests).Push(float64(e.hourArrivals))
+		e.store.Series(SeriesErrors).Push(float64(e.hourFailed))
+		e.store.Series(SeriesShed).Push(float64(e.hourShed))
+	}
+	e.stats.HoursObserved++
+	if e.hourHist.total > 0 && p99 > e.spec.SLOP99Ms {
+		e.stats.SLOViolationHours++
+	}
+	e.runHist.merge(&e.hourHist)
+	e.hourHist.reset()
+	e.hourArrivals, e.hourFailed, e.hourShed = 0, 0, 0
+}

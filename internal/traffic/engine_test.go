@@ -1,0 +1,274 @@
+package traffic_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"toto/internal/fabric"
+	"toto/internal/obs"
+	"toto/internal/obs/journal"
+	"toto/internal/rng"
+	"toto/internal/simclock"
+	"toto/internal/traffic"
+)
+
+var harnessStart = time.Date(2020, time.June, 1, 0, 0, 0, 0, time.UTC)
+
+func harnessCapacity() map[fabric.MetricName]float64 {
+	return map[fabric.MetricName]float64{
+		fabric.MetricCores:    64,
+		fabric.MetricDiskGB:   8192,
+		fabric.MetricMemoryGB: 512,
+	}
+}
+
+// runTrafficDay drives a 10-node cluster hosting 48 services through 24
+// simulated hours with a traffic engine attached. The disk loads are
+// sized so the correlated outage (five nodes crashing at noon, restarting
+// an hour later) exceeds the survivors' capacity: replicas strand on dead
+// nodes, services lose every intact copy, and the traffic plane must shed
+// load, trip breakers, and ration retries. Everything is seeded, so a
+// (spec, outage) pair maps to exactly one journal byte stream.
+func runTrafficDay(tb testing.TB, spec traffic.Spec, w *journal.Writer, outage bool) traffic.Stats {
+	tb.Helper()
+	clock := simclock.New(harnessStart)
+	cfg := fabric.DefaultConfig()
+	cfg.PLBSeed = 7
+	cfg.BalancingEnabled = true
+	cfg.BalanceSpread = 0.45
+	c := fabric.NewCluster(clock, 10, harnessCapacity(), cfg)
+	if w != nil {
+		w.Meta("traffic-day", harnessStart, map[string]string{
+			"seed": fmt.Sprint(spec.Seed),
+		})
+		w.Attach(c)
+	}
+	c.Start()
+
+	src := rng.New(0x7A7A)
+	for i := 0; i < 48; i++ {
+		name := fmt.Sprintf("db-%d", i)
+		if i%4 == 0 {
+			loads := map[fabric.MetricName]float64{fabric.MetricDiskGB: src.UniformRange(500, 800)}
+			if _, err := c.CreateServiceWithLoads(name, 4, 2, nil, loads); err != nil {
+				tb.Fatalf("create %s: %v", name, err)
+			}
+		} else {
+			loads := map[fabric.MetricName]float64{fabric.MetricDiskGB: src.UniformRange(200, 500)}
+			if _, err := c.CreateServiceWithLoads(name, 2, 2, nil, loads); err != nil {
+				tb.Fatalf("create %s: %v", name, err)
+			}
+		}
+	}
+	clock.Every(20*time.Minute, func(time.Time) {
+		for _, svc := range c.LiveServices() {
+			for _, rep := range svc.Replicas {
+				_ = c.ReportLoad(rep.ID, fabric.MetricDiskGB, rep.Load(fabric.MetricDiskGB)+src.UniformRange(0, 2.2))
+				_ = c.ReportLoad(rep.ID, fabric.MetricMemoryGB, src.UniformRange(1, 8))
+			}
+		}
+	})
+
+	eng, err := traffic.NewEngine(clock, c, &spec, nil, obs.New(obs.Options{}))
+	if err != nil {
+		tb.Fatalf("NewEngine: %v", err)
+	}
+	eng.Start(harnessStart)
+
+	if outage {
+		crashed := []string{"node-1", "node-2", "node-3", "node-4", "node-5"}
+		clock.At(harnessStart.Add(12*time.Hour), func(time.Time) {
+			for _, id := range crashed {
+				_, _, _ = c.CrashNode(id)
+			}
+		})
+		clock.At(harnessStart.Add(13*time.Hour), func(time.Time) {
+			for _, id := range crashed {
+				_ = c.RestartNode(id)
+			}
+		})
+	}
+
+	clock.RunUntil(harnessStart.Add(24 * time.Hour))
+	c.Stop()
+	eng.Stop()
+	return eng.Stats()
+}
+
+// trafficKind reports whether an annotation kind belongs to the traffic
+// plane.
+func trafficKind(kind string) bool {
+	switch kind {
+	case traffic.KindRequestShed, traffic.KindBreakerOpen, traffic.KindBreakerHalfOpen,
+		traffic.KindBreakerClosed, traffic.KindRetryBudgetExhausted, traffic.KindRequestErrors:
+		return true
+	}
+	return false
+}
+
+// TestSameSeedIdenticalJournals is the plane's determinism contract: two
+// runs of the same spec produce byte-identical journals — request sheds,
+// breaker transitions, and retry denials included — and a different
+// traffic seed produces a different request stream without perturbing
+// the fabric's event stream.
+func TestSameSeedIdenticalJournals(t *testing.T) {
+	run := func(seed uint64) []byte {
+		var buf bytes.Buffer
+		w := journal.NewWriter(&buf)
+		runTrafficDay(t, traffic.Spec{Seed: seed}, w, true)
+		if err := w.Close(); err != nil {
+			t.Fatalf("close: %v", err)
+		}
+		return buf.Bytes()
+	}
+	a := run(42)
+	b := run(42)
+	if !bytes.Equal(a, b) {
+		t.Fatal("same-seed runs produced different journals")
+	}
+	c := run(43)
+	if bytes.Equal(a, c) {
+		t.Fatal("different traffic seeds produced identical journals")
+	}
+
+	// The fabric's own event stream must be identical across traffic
+	// seeds: the plane observes the cluster, it never feeds randomness
+	// back into it.
+	entriesA, err := journal.Read(bytes.NewReader(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	entriesC, err := journal.Read(bytes.NewReader(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hashA, nA := journal.EventStreamHash(entriesA)
+	hashC, nC := journal.EventStreamHash(entriesC)
+	if hashA != hashC || nA != nC {
+		t.Errorf("traffic seed changed the fabric event stream: %s/%d vs %s/%d",
+			hashA, nA, hashC, nC)
+	}
+}
+
+// TestRetryStormBudgetBound is the issue's retry-storm acceptance: under
+// a correlated outage that downs half the cluster, total granted retries
+// stay within the retry budget (refilled only by fresh arrivals, so no
+// amplification), and every shed request is journaled rather than
+// silently dropped.
+func TestRetryStormBudgetBound(t *testing.T) {
+	var buf bytes.Buffer
+	w := journal.NewWriter(&buf)
+	spec := traffic.Spec{Seed: 7}
+	st := runTrafficDay(t, spec, w, true)
+	if err := w.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	t.Logf("stats: %+v", st)
+
+	if st.Arrivals == 0 || st.Dispatched == 0 {
+		t.Fatal("no traffic flowed")
+	}
+	// The budget bound: tokens only ever accrue at BudgetRatio per fresh
+	// arrival, so granted retries can never exceed that fraction of the
+	// offered load — even with every backend down.
+	budget := float64(st.Arrivals) * 0.2 // default BudgetRatio
+	if float64(st.Retries) > budget {
+		t.Errorf("retries %d exceed budget %.0f: retry amplification", st.Retries, budget)
+	}
+	// The storm must actually have pressed the budget and the admission
+	// plane: an outage of half the cluster with no denial or shedding
+	// means the chaos didn't bite.
+	if st.RetriesDenied == 0 {
+		t.Error("outage never exhausted a retry budget")
+	}
+	if st.Shed == 0 {
+		t.Error("outage shed no load despite halved admission capacity")
+	}
+	if st.BreakerOpens == 0 {
+		t.Error("no breaker opened during the outage")
+	}
+	if st.BreakerCloses == 0 {
+		t.Error("no breaker recovered after the restart")
+	}
+	if st.Errors == 0 {
+		t.Error("no request errors during the outage")
+	}
+
+	entries, err := journal.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sheds are journaled, not silent: the annotations must account for
+	// every shed request, and breaker lifecycle annotations must match
+	// the engine's counters one-for-one.
+	var shedSum, deniedSum float64
+	opens, halfOpens, closes := 0, 0, 0
+	idx := journal.Index(entries)
+	for i := range entries {
+		e := &entries[i]
+		if e.Type != journal.TypeAnnotation {
+			continue
+		}
+		switch e.Kind {
+		case traffic.KindRequestShed:
+			shedSum += e.Value
+		case traffic.KindRetryBudgetExhausted:
+			deniedSum += e.Value
+		case traffic.KindBreakerOpen:
+			opens++
+		case traffic.KindBreakerHalfOpen:
+			halfOpens++
+		case traffic.KindBreakerClosed:
+			closes++
+		}
+		// Every shed and breaker transition must chain to the incident
+		// that explains it — here, the injected crashes.
+		switch e.Kind {
+		case traffic.KindRequestShed, traffic.KindBreakerOpen,
+			traffic.KindBreakerHalfOpen, traffic.KindBreakerClosed:
+			if root := journal.RootCause(idx, e); root != "crash" {
+				t.Errorf("%s at %s (service %s) has root cause %q, want crash",
+					e.Kind, e.Time().Format("15:04"), e.Service, root)
+			}
+		}
+	}
+	if int64(shedSum) != st.Shed {
+		t.Errorf("journaled sheds %.0f != engine count %d", shedSum, st.Shed)
+	}
+	if int64(deniedSum) != st.RetriesDenied {
+		t.Errorf("journaled retry denials %.0f != engine count %d", deniedSum, st.RetriesDenied)
+	}
+	if opens != st.BreakerOpens || halfOpens != st.BreakerHalfOpens || closes != st.BreakerCloses {
+		t.Errorf("journaled breaker lifecycle %d/%d/%d != engine %d/%d/%d",
+			opens, halfOpens, closes, st.BreakerOpens, st.BreakerHalfOpens, st.BreakerCloses)
+	}
+}
+
+// TestQuietDayNoFailures pins graceful degradation's complement: with no
+// faults injected, the admission plane clears the full diurnal curve —
+// nothing is shed, no breaker ever opens, and the error rate stays
+// negligible (mid-build failover windows are the only failure source).
+func TestQuietDayNoFailures(t *testing.T) {
+	st := runTrafficDay(t, traffic.Spec{Seed: 7}, nil, false)
+	t.Logf("stats: %+v", st)
+	if st.Arrivals == 0 {
+		t.Fatal("no arrivals")
+	}
+	if st.Shed != 0 {
+		t.Errorf("quiet day shed %d requests", st.Shed)
+	}
+	if st.BreakerOpens != 0 || st.BreakerRejected != 0 {
+		t.Errorf("quiet day tripped breakers: opens=%d rejected=%d", st.BreakerOpens, st.BreakerRejected)
+	}
+	if st.ErrorRate > 0.01 {
+		t.Errorf("quiet-day error rate %.4f > 1%%", st.ErrorRate)
+	}
+	if st.HoursObserved != 24 {
+		t.Errorf("observed %d hours, want 24", st.HoursObserved)
+	}
+	if st.P50Ms <= 0 || st.P99Ms < st.P50Ms || st.P999Ms < st.P99Ms {
+		t.Errorf("quantiles not ordered: p50=%.2f p99=%.2f p999=%.2f", st.P50Ms, st.P99Ms, st.P999Ms)
+	}
+}

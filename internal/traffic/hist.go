@@ -1,0 +1,65 @@
+package traffic
+
+import "math"
+
+// The latency histogram: 64 log-spaced buckets from 0.25 ms growing 25%
+// per bucket (~320 s at the top), fixed at compile time so quantile
+// extraction is deterministic and allocation-free. Requests are recorded
+// in aggregate — counts at modeled latencies — never one at a time.
+const (
+	histBuckets = 64
+	histBaseMs  = 0.25
+	histGrowth  = 1.25
+)
+
+type hist struct {
+	counts [histBuckets]int64
+	total  int64
+}
+
+// add records n observations at ms.
+func (h *hist) add(ms float64, n int64) {
+	if n <= 0 {
+		return
+	}
+	idx := 0
+	if ms > histBaseMs {
+		idx = int(math.Log(ms/histBaseMs)/math.Log(histGrowth)) + 1
+		if idx >= histBuckets {
+			idx = histBuckets - 1
+		}
+	}
+	h.counts[idx] += n
+	h.total += n
+}
+
+// quantile returns the upper bound (ms) of the bucket holding the q-th
+// observation; 0 when empty.
+func (h *hist) quantile(q float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	target := int64(q*float64(h.total) + 0.5)
+	if target < 1 {
+		target = 1
+	}
+	cum := int64(0)
+	for i, c := range h.counts {
+		cum += c
+		if cum >= target {
+			return histBaseMs * math.Pow(histGrowth, float64(i))
+		}
+	}
+	return histBaseMs * math.Pow(histGrowth, float64(histBuckets-1))
+}
+
+// merge folds other into h.
+func (h *hist) merge(other *hist) {
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.total += other.total
+}
+
+// reset zeroes the histogram.
+func (h *hist) reset() { *h = hist{} }

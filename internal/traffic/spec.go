@@ -1,0 +1,203 @@
+// Package traffic is the deterministic request-level traffic plane: an
+// open-loop, sim-clock-driven model of the requests that cause the load
+// reports the rest of the simulator reacts to. Per-service arrivals
+// follow the same diurnal shape the churn traces are trained on and flow
+// through a front-end pipeline — token-bucket admission control with
+// bounded queues and drop-on-overflow load shedding, per-service circuit
+// breakers, retry with an exponential-backoff-plus-jitter per-service
+// retry budget, and request batching. Per-request latency derives from
+// the primary node's utilization and replica co-location; node crashes,
+// quorum-loss windows, and mid-build failovers surface as real request
+// errors journaled inside the fabric's causal brackets.
+//
+// Determinism mirrors internal/chaos: every random choice draws from
+// streams split off one seed by fixed labels, and the engine only ever
+// runs on the simulation goroutine, so a traffic run is bit-for-bit
+// reproducible for a fixed seed and workload. A run with no traffic spec
+// never constructs an engine at all — the fabric hot path is untouched.
+package traffic
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// BreakerSpec configures the per-service circuit breakers.
+type BreakerSpec struct {
+	// FailureThreshold is the failure fraction that trips a closed
+	// breaker once a window of MinRequests has been observed.
+	// Default 0.5.
+	FailureThreshold float64 `json:"failureThreshold,omitempty"`
+	// MinRequests is the closed-state observation window: the breaker
+	// never trips on fewer outcomes. Default 20.
+	MinRequests int `json:"minRequests,omitempty"`
+	// OpenSeconds is how long an open breaker rejects everything before
+	// letting probes through. Default 120.
+	OpenSeconds float64 `json:"openSeconds,omitempty"`
+	// HalfOpenProbes is exactly how many probe requests a half-open
+	// breaker admits before deciding. Default 5.
+	HalfOpenProbes int `json:"halfOpenProbes,omitempty"`
+}
+
+// RetrySpec configures retries and the per-service retry budget.
+type RetrySpec struct {
+	// MaxAttempts bounds attempts per request (first try included).
+	// Default 3.
+	MaxAttempts int `json:"maxAttempts,omitempty"`
+	// BudgetRatio is the retry budget refill rate as a fraction of fresh
+	// arrivals: a service receiving N requests earns N*BudgetRatio retry
+	// tokens, so retries can never amplify a failover storm beyond that
+	// ratio. Default 0.2.
+	BudgetRatio float64 `json:"budgetRatio,omitempty"`
+	// BackoffBaseMs and BackoffMaxMs bound the exponential backoff a
+	// retried request waits. Defaults 50 and 1000.
+	BackoffBaseMs float64 `json:"backoffBaseMs,omitempty"`
+	BackoffMaxMs  float64 `json:"backoffMaxMs,omitempty"`
+	// Jitter is the relative spread applied to backoff (0..1). Default 0.5.
+	Jitter float64 `json:"jitter,omitempty"`
+}
+
+// Spec is the JSON-configurable traffic plane. All knobs are optional;
+// zero values take the documented defaults (a zero-valued field cannot
+// express "off" — use a tiny value instead).
+type Spec struct {
+	// Seed drives every random choice the plane makes (arrival draws,
+	// error draws, backoff jitter). Two runs of the same spec, seed, and
+	// workload serve identical request streams.
+	Seed uint64 `json:"seed"`
+	// PerCoreRPS is the peak request rate per reserved service core, so
+	// demand tracks the population the cluster actually hosts. Default 1.
+	PerCoreRPS float64 `json:"perCoreRPS,omitempty"`
+	// WeekendFactor scales weekend demand (mirrors the trace models).
+	// Default 0.7.
+	WeekendFactor float64 `json:"weekendFactor,omitempty"`
+	// TickSeconds is the simulation step for arrivals and admission.
+	// Default 60.
+	TickSeconds float64 `json:"tickSeconds,omitempty"`
+	// AdmitFactor provisions the front-end token bucket relative to peak
+	// demand: refill rate = AdmitFactor * PerCoreRPS * reserved cores *
+	// (up nodes / total nodes). With every node up the front end clears
+	// peak load; losing a fault domain drops admission capacity below
+	// peak and the overflow is shed — graceful degradation instead of
+	// collapse. Default 1.05.
+	AdmitFactor float64 `json:"admitFactor,omitempty"`
+	// BurstTicks sizes the token bucket in ticks of refill. Default 2.
+	BurstTicks float64 `json:"burstTicks,omitempty"`
+	// QueueDepth bounds the per-service wait queue; requests beyond it
+	// are shed. Default 0 (no queue: overflow sheds immediately).
+	QueueDepth int `json:"queueDepth,omitempty"`
+	// BatchSize is the dispatch batch: per-request overhead is amortized
+	// across the batch. Default 8.
+	BatchSize int `json:"batchSize,omitempty"`
+	// BaseLatencyMs is the service-time floor of one request on an idle
+	// node; OverheadMs the per-request dispatch overhead a full batch
+	// amortizes. Defaults 4 and 2.
+	BaseLatencyMs float64 `json:"baseLatencyMs,omitempty"`
+	OverheadMs    float64 `json:"overheadMs,omitempty"`
+	// BaseErrorRate is the steady-state failure probability of a healthy
+	// service. Default 0 — every request error then traces to a fault.
+	BaseErrorRate float64 `json:"baseErrorRate,omitempty"`
+	// DegradedErrorRate is the failure fraction while a service's primary
+	// has a data copy in flight (mid-build failover window). Kept below
+	// the breaker threshold by default so ordinary rebuilds degrade
+	// without tripping breakers. Default 0.1.
+	DegradedErrorRate float64 `json:"degradedErrorRate,omitempty"`
+	// Breaker and Retry configure the per-service circuit breakers and
+	// the retry budget.
+	Breaker BreakerSpec `json:"breaker,omitempty"`
+	Retry   RetrySpec   `json:"retry,omitempty"`
+	// SLOP99Ms is the hourly p99 latency SLO scored next to revenue.
+	// Default 250.
+	SLOP99Ms float64 `json:"sloP99Ms,omitempty"`
+}
+
+// ParseSpec decodes and validates a JSON spec, rejecting unknown fields
+// so a typoed knob fails loudly instead of silently simulating nothing.
+func ParseSpec(data []byte) (*Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("traffic: parsing spec: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Validate checks the spec's knobs. Nil-safe: a nil spec (no traffic
+// plane) is valid.
+func (s *Spec) Validate() error {
+	if s == nil {
+		return nil
+	}
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("traffic: %s", fmt.Sprintf(format, args...))
+	}
+	if s.PerCoreRPS < 0 || s.WeekendFactor < 0 || s.TickSeconds < 0 ||
+		s.AdmitFactor < 0 || s.BurstTicks < 0 || s.QueueDepth < 0 ||
+		s.BatchSize < 0 || s.BaseLatencyMs < 0 || s.OverheadMs < 0 || s.SLOP99Ms < 0 {
+		return fail("negative knob")
+	}
+	if s.BaseErrorRate < 0 || s.BaseErrorRate >= 1 {
+		return fail("baseErrorRate %v outside [0, 1)", s.BaseErrorRate)
+	}
+	if s.DegradedErrorRate < 0 || s.DegradedErrorRate > 1 {
+		return fail("degradedErrorRate %v outside [0, 1]", s.DegradedErrorRate)
+	}
+	b := s.Breaker
+	if b.FailureThreshold < 0 || b.FailureThreshold > 1 {
+		return fail("breaker failureThreshold %v outside [0, 1]", b.FailureThreshold)
+	}
+	if b.MinRequests < 0 || b.HalfOpenProbes < 0 || b.OpenSeconds < 0 {
+		return fail("negative breaker knob")
+	}
+	r := s.Retry
+	if r.MaxAttempts < 0 {
+		return fail("negative retry maxAttempts")
+	}
+	if r.BudgetRatio < 0 || r.BackoffBaseMs < 0 || r.BackoffMaxMs < 0 {
+		return fail("negative retry knob")
+	}
+	if r.Jitter < 0 || r.Jitter > 1 {
+		return fail("retry jitter %v outside [0, 1]", r.Jitter)
+	}
+	return nil
+}
+
+// withDefaults returns a copy with every zero knob resolved.
+func (s *Spec) withDefaults() Spec {
+	out := *s
+	def := func(v *float64, d float64) {
+		if *v == 0 {
+			*v = d
+		}
+	}
+	defi := func(v *int, d int) {
+		if *v == 0 {
+			*v = d
+		}
+	}
+	def(&out.PerCoreRPS, 1)
+	def(&out.WeekendFactor, 0.7)
+	def(&out.TickSeconds, 60)
+	def(&out.AdmitFactor, 1.05)
+	def(&out.BurstTicks, 2)
+	defi(&out.BatchSize, 8)
+	def(&out.BaseLatencyMs, 4)
+	def(&out.OverheadMs, 2)
+	def(&out.DegradedErrorRate, 0.1)
+	def(&out.Breaker.FailureThreshold, 0.5)
+	defi(&out.Breaker.MinRequests, 20)
+	def(&out.Breaker.OpenSeconds, 120)
+	defi(&out.Breaker.HalfOpenProbes, 5)
+	defi(&out.Retry.MaxAttempts, 3)
+	def(&out.Retry.BudgetRatio, 0.2)
+	def(&out.Retry.BackoffBaseMs, 50)
+	def(&out.Retry.BackoffMaxMs, 1000)
+	def(&out.Retry.Jitter, 0.5)
+	def(&out.SLOP99Ms, 250)
+	return out
+}
