@@ -30,6 +30,7 @@ import (
 
 	"toto/internal/core"
 	"toto/internal/fleet"
+	"toto/internal/obs/reqtrace"
 	"toto/internal/traffic"
 )
 
@@ -41,6 +42,7 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
 	seed := flag.Uint64("seed", 0, "offset added to all base seeds")
 	trafficPath := flag.String("traffic", "", "JSON traffic spec file: drive request-level traffic in every cell")
+	reqtraceOn := flag.Bool("reqtrace", false, "trace requests with tail-based sampling in every cell (needs -traffic); sampler counters fold into fingerprints")
 	verbose := flag.Bool("v", false, "print one row per run with its fingerprint")
 	flag.Parse()
 
@@ -84,6 +86,9 @@ func main() {
 			fmt.Fprintln(os.Stderr, "totolab:", err)
 			os.Exit(1)
 		}
+		if *reqtraceOn && ts.Reqtrace == nil {
+			ts.Reqtrace = &reqtrace.Spec{} // defaults: 1-in-1000, ring 512
+		}
 		// Each cell gets its own arrival stream, derived from its matrix
 		// position so the fleet stays reproducible on any worker count.
 		cfg.Configure = func(spec fleet.RunSpec, sc *core.Scenario) {
@@ -91,6 +96,9 @@ func main() {
 			cell.Seed += uint64(spec.Index) * 6700417
 			sc.Traffic = &cell
 		}
+	} else if *reqtraceOn {
+		fmt.Fprintln(os.Stderr, "totolab: -reqtrace given without -traffic")
+		os.Exit(1)
 	}
 
 	cells := len(fleet.Matrix(cfg))

@@ -52,6 +52,8 @@ func main() {
 		err = runGate(args)
 	case "prom":
 		err = runProm(args)
+	case "trace":
+		err = runTrace(args)
 	case "-h", "-help", "--help", "help":
 		usage()
 		return
@@ -79,6 +81,12 @@ func usage() {
                                         journals; exit 3 when a change-point,
                                         K-S, or total-shift signal fires
   totoscope prom    <journal>           final metrics, Prometheus text format
+  totoscope trace   [-service s] [-outcome o] [-min-ms x] [-slowest]
+                    [-limit n] <journal> [id]
+                                        request-trace explorer: search kept
+                                        traces with SLO-hour exemplar coverage,
+                                        or render one trace's span waterfall
+                                        and causal chain (id may be a prefix)
 `)
 }
 

@@ -1,0 +1,284 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"toto/internal/obs/journal"
+	"toto/internal/obs/reqtrace"
+	"toto/internal/traffic"
+)
+
+// runTrace is the trace explorer: without an ID it searches the
+// journal's kept request traces (sampler summary, per-hour SLO verdicts
+// with exemplar coverage, failure coverage against the aggregate error
+// annotations, then a filtered listing); with an ID (or unique prefix)
+// it renders one trace's span waterfall and joins it to its causal
+// chain. CI greps the search output: "MISSING p99 exemplar",
+// "COVERAGE GAP", and "unknown root cause" must not appear in a healthy
+// traced run.
+func runTrace(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ContinueOnError)
+	service := fs.String("service", "", "filter: exact service name")
+	outcome := fs.String("outcome", "", "filter: ok|error|shed|breaker-rejected")
+	minMs := fs.Float64("min-ms", 0, "filter: minimum latency in ms")
+	slowest := fs.Bool("slowest", false, "sort the listing by latency, slowest first")
+	limit := fs.Int("limit", 20, "max traces listed (0 = all)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rest := fs.Args()
+	if len(rest) < 1 || len(rest) > 2 {
+		return fmt.Errorf("trace wants a journal path and an optional trace id")
+	}
+	entries, err := load(rest[0])
+	if err != nil {
+		return err
+	}
+	idx := journal.Index(entries)
+
+	// One pass: decode every kept trace and hour verdict, and total the
+	// aggregate failure annotations the traces must cover.
+	var traces []keptTrace
+	type hourRow struct {
+		entry     *journal.Entry
+		bucket    int
+		exemplar  string
+		violation int
+		samples   int64
+	}
+	var hours []hourRow
+	var annErrors, annSheds float64
+	for i := range entries {
+		e := &entries[i]
+		if e.Type != journal.TypeAnnotation {
+			continue
+		}
+		switch e.Kind {
+		case traffic.KindRequestTrace:
+			tr, err := reqtrace.DecodeDetail(e.Detail)
+			if err != nil {
+				return fmt.Errorf("seq %d: %w", e.Seq, err)
+			}
+			tr.Time = e.T
+			tr.Service = e.Service
+			traces = append(traces, keptTrace{tr, e})
+		case traffic.KindTraceHour:
+			h := hourRow{entry: e}
+			fmt.Sscanf(e.Detail, "p99-bucket=%d exemplar=%s violation=%d samples=%d",
+				&h.bucket, &h.exemplar, &h.violation, &h.samples)
+			hours = append(hours, h)
+		case traffic.KindRequestErrors:
+			annErrors += e.Value
+		case traffic.KindRequestShed:
+			annSheds += e.Value
+		}
+	}
+	if len(traces) == 0 {
+		return fmt.Errorf("no request traces in journal (simulate with -reqtrace)")
+	}
+
+	if len(rest) == 2 {
+		return printTraceWaterfall(idx, traces, rest[1])
+	}
+
+	w := os.Stdout
+
+	// Sampler summary, recomputed from the journal so it holds for any
+	// producer.
+	var byOutcome [4]struct {
+		groups   int
+		requests int64
+	}
+	for _, k := range traces {
+		byOutcome[k.tr.Outcome].groups++
+		byOutcome[k.tr.Outcome].requests += k.tr.Count
+	}
+	fmt.Fprintf(w, "kept traces: %d groups\n", len(traces))
+	for o := reqtrace.OutcomeOK; o <= reqtrace.OutcomeRejected; o++ {
+		b := byOutcome[o]
+		if b.groups > 0 {
+			fmt.Fprintf(w, "  %-17s %6d groups %10d requests\n", o.String(), b.groups, b.requests)
+		}
+	}
+
+	// Failure coverage: every error/shed request the aggregate
+	// annotations counted must appear in a kept trace (the tail-sampling
+	// contract), and its root cause must match the journal's attribution
+	// — guaranteed by bracket sharing, verified here anyway.
+	trErrors := byOutcome[reqtrace.OutcomeError].requests
+	trSheds := byOutcome[reqtrace.OutcomeShed].requests
+	unknownRoots := 0
+	for _, k := range traces {
+		if !k.tr.Outcome.Failed() {
+			continue
+		}
+		root := journal.RootCause(idx, k.entry)
+		if root == "none" || root == "unknown" {
+			unknownRoots++
+		}
+	}
+	fmt.Fprintf(w, "failure coverage: errors %d/%.0f, sheds %d/%.0f\n",
+		trErrors, annErrors, trSheds, annSheds)
+	if trErrors != int64(annErrors) || trSheds != int64(annSheds) {
+		fmt.Fprintf(w, "  WARNING: COVERAGE GAP — some failed requests have no kept trace\n")
+	}
+	if unknownRoots > 0 {
+		fmt.Fprintf(w, "  WARNING: %d failed traces with unknown root cause\n", unknownRoots)
+	} else {
+		fmt.Fprintf(w, "  all failed traces carry an attributed root cause\n")
+	}
+
+	// Hour verdicts: every SLO-violating hour's p99 bucket must carry an
+	// exemplar trace ID.
+	if len(hours) > 0 {
+		violations, missing := 0, 0
+		for _, h := range hours {
+			if h.violation == 0 {
+				continue
+			}
+			violations++
+			status := "exemplar=" + h.exemplar
+			if h.exemplar == "missing" || h.exemplar == "" {
+				missing++
+				status = "MISSING p99 exemplar"
+			}
+			fmt.Fprintf(w, "hour %s: p99 %.1fms > SLO %.0fms VIOLATION %s (%d samples, p99 bucket %d)\n",
+				h.entry.Time().Format("2006-01-02T15:04"), h.entry.Value, h.entry.Limit,
+				status, h.samples, h.bucket)
+		}
+		fmt.Fprintf(w, "hours: %d observed, %d SLO-violating, %d missing a p99 exemplar\n",
+			len(hours), violations, missing)
+	}
+
+	// Filtered listing, joined to root causes.
+	matched := traces[:0:0]
+	for _, k := range traces {
+		if *service != "" && k.tr.Service != *service {
+			continue
+		}
+		if *outcome != "" && k.tr.OutcomeS != *outcome {
+			continue
+		}
+		if k.tr.LatencyMs < *minMs {
+			continue
+		}
+		matched = append(matched, k)
+	}
+	if *slowest {
+		for i := 1; i < len(matched); i++ { // insertion sort on latency
+			for j := i; j > 0 && matched[j].tr.LatencyMs > matched[j-1].tr.LatencyMs; j-- {
+				matched[j], matched[j-1] = matched[j-1], matched[j]
+			}
+		}
+	}
+	shown := matched
+	if *limit > 0 && len(shown) > *limit {
+		if *slowest {
+			shown = shown[:*limit]
+		} else {
+			shown = shown[len(shown)-*limit:] // newest in arrival order
+		}
+	}
+	fmt.Fprintf(w, "\n%d traces match (%d shown)\n", len(matched), len(shown))
+	fmt.Fprintf(w, "%-16s  %-16s  %-12s %-17s %7s %10s  %s\n",
+		"id", "time", "service", "outcome", "count", "latency", "root")
+	for _, k := range shown {
+		fmt.Fprintf(w, "%s  %s  %-12s %-17s %7d %8.1fms  %s\n",
+			k.tr.IDHex, k.entry.Time().Format("2006-01-02T15:04"), k.tr.Service,
+			k.tr.OutcomeS, k.tr.Count, k.tr.LatencyMs, journal.RootCause(idx, k.entry))
+	}
+	return nil
+}
+
+// keptTrace pairs a decoded trace with the journal entry carrying it.
+type keptTrace struct {
+	tr    reqtrace.Trace
+	entry *journal.Entry
+}
+
+// printTraceWaterfall renders one trace: its span waterfall scaled to
+// the trace latency, then the causal chain the trace was journaled
+// inside, root first.
+func printTraceWaterfall(idx map[uint64]*journal.Entry, traces []keptTrace, id string) error {
+	id = strings.ToLower(strings.TrimPrefix(id, "0x"))
+	var hit *keptTrace
+	matches := 0
+	for i := range traces {
+		if strings.HasPrefix(traces[i].tr.IDHex, id) {
+			hit = &traces[i]
+			matches++
+		}
+	}
+	if matches == 0 {
+		return fmt.Errorf("no kept trace with id %q", id)
+	}
+	if matches > 1 {
+		return fmt.Errorf("trace id prefix %q is ambiguous (%d matches)", id, matches)
+	}
+	tr, e := hit.tr, hit.entry
+	fmt.Printf("trace %s  %s  %s  outcome=%s  count=%d  latency %.2fms",
+		tr.IDHex, time.Unix(0, tr.Time).UTC().Format("2006-01-02T15:04:05"),
+		tr.Service, tr.OutcomeS, tr.Count, tr.LatencyMs)
+	if tr.Retries > 0 {
+		fmt.Printf("  retries=%d", tr.Retries)
+	}
+	fmt.Println()
+
+	const width = 40
+	scale := tr.LatencyMs
+	for _, sp := range tr.Spans {
+		if end := sp.StartMs + sp.DurMs; end > scale {
+			scale = end
+		}
+	}
+	for _, sp := range tr.Spans {
+		bar := make([]byte, width)
+		for i := range bar {
+			bar[i] = ' '
+		}
+		start, span := 0, 0
+		if scale > 0 {
+			start = int(sp.StartMs / scale * float64(width-1))
+			span = int(sp.DurMs / scale * float64(width))
+		}
+		if span < 1 {
+			bar[start] = '|'
+		} else {
+			for i := start; i < start+span && i < width; i++ {
+				bar[i] = '='
+			}
+		}
+		extra := ""
+		if sp.Node != "" {
+			extra = "  " + sp.Node
+			if sp.Util > 0 {
+				extra += fmt.Sprintf(" util %.0f%%", sp.Util*100)
+			}
+		}
+		fmt.Printf("  %-14s [%s] @%8.2fms +%8.2fms%s\n", sp.Name, bar, sp.StartMs, sp.DurMs, extra)
+	}
+
+	chain := journal.Chain(idx, e.Seq)
+	if len(chain) > 1 {
+		fmt.Println("causal chain:")
+		for depth, link := range chain {
+			subject := link.Node
+			if link.Service != "" {
+				subject = link.Service
+			}
+			detail := link.Detail
+			if link.Kind == traffic.KindRequestTrace {
+				detail = "(this trace)"
+			}
+			fmt.Printf("%s#%d %s %s %s %s\n",
+				strings.Repeat("  ", depth+1), link.Seq,
+				link.Time().Format("2006-01-02T15:04:05"), link.Kind, subject, detail)
+		}
+	}
+	fmt.Printf("root cause: %s\n", journal.RootCause(idx, e))
+	return nil
+}

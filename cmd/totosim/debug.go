@@ -12,6 +12,7 @@ import (
 	"toto/internal/obs"
 	"toto/internal/obs/alert"
 	"toto/internal/obs/journal"
+	"toto/internal/obs/reqtrace"
 )
 
 //go:embed dashboard.html
@@ -24,7 +25,7 @@ var dashboardHTML []byte
 // against the global mux, and the default mux also silently exposes any
 // handlers other packages registered. pprof is therefore mounted
 // explicitly rather than via the net/http/pprof blank-import side effect.
-func newDebugMux(sess *obs.Session, jw *journal.Writer, eng *alert.Engine) *http.ServeMux {
+func newDebugMux(sess *obs.Session, jw *journal.Writer, eng *alert.Engine, rec *reqtrace.Recorder) *http.ServeMux {
 	mux := http.NewServeMux()
 
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -55,6 +56,36 @@ func newDebugMux(sess *obs.Session, jw *journal.Writer, eng *alert.Engine) *http
 		for _, e := range jw.Tail(n) {
 			_ = enc.Encode(e)
 		}
+	})
+
+	// /traces searches the recorder's ring of kept request traces:
+	// ?service= &outcome=ok|error|shed|rejected &min_ms= &limit= and
+	// &slowest=1 (latency-sorted instead of newest-first). JSON span
+	// trees, newest last — ready for the dashboard's drill-down.
+	mux.HandleFunc("/traces", func(w http.ResponseWriter, r *http.Request) {
+		if rec == nil {
+			http.Error(w, "request tracing not enabled (-reqtrace)", http.StatusNotFound)
+			return
+		}
+		q := reqtrace.Query{
+			Service: r.URL.Query().Get("service"),
+			Outcome: r.URL.Query().Get("outcome"),
+			Slowest: r.URL.Query().Get("slowest") == "1",
+			Limit:   50,
+		}
+		if v := r.URL.Query().Get("min_ms"); v != "" {
+			fmt.Sscanf(v, "%g", &q.MinMs)
+		}
+		if v := r.URL.Query().Get("limit"); v != "" {
+			fmt.Sscanf(v, "%d", &q.Limit)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		traces := rec.Snapshot(q)
+		st := rec.Stats()
+		_ = json.NewEncoder(w).Encode(struct {
+			Stats  reqtrace.Stats   `json:"stats"`
+			Traces []reqtrace.Trace `json:"traces"`
+		}{st, traces})
 	})
 
 	mux.HandleFunc("/alerts", func(w http.ResponseWriter, r *http.Request) {

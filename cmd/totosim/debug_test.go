@@ -10,6 +10,8 @@ import (
 
 	"toto/internal/obs"
 	"toto/internal/obs/alert"
+	"toto/internal/obs/reqtrace"
+	"toto/internal/rng"
 )
 
 // Two debug muxes must coexist in one process. The old implementation
@@ -17,8 +19,8 @@ import (
 // "http: multiple registrations"; a dedicated mux per server fixes that.
 func TestTwoDebugMuxesOneProcess(t *testing.T) {
 	sess := &obs.Session{}
-	a := newDebugMux(sess, nil, nil)
-	b := newDebugMux(sess, nil, nil) // would panic before the fix
+	a := newDebugMux(sess, nil, nil, nil)
+	b := newDebugMux(sess, nil, nil, nil) // would panic before the fix
 	for _, mux := range []*http.ServeMux{a, b} {
 		rec := httptest.NewRecorder()
 		mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/cmdline", nil))
@@ -34,7 +36,7 @@ func TestDebugMuxEndpoints(t *testing.T) {
 	eng := alert.NewEngine(&alert.Spec{Rules: []alert.ThresholdRule{
 		{Name: "nodes-down", Series: "cluster.upNodes", Op: alert.OpLT, Threshold: 14},
 	}})
-	mux := newDebugMux(sess, nil, eng)
+	mux := newDebugMux(sess, nil, eng, nil)
 	srv := httptest.NewServer(mux)
 	defer srv.Close()
 
@@ -78,12 +80,85 @@ func TestDebugMuxEndpoints(t *testing.T) {
 }
 
 func TestDebugMuxAlertEndpointsDisabled(t *testing.T) {
-	mux := newDebugMux(&obs.Session{}, nil, nil)
+	mux := newDebugMux(&obs.Session{}, nil, nil, nil)
 	for _, path := range []string{"/alerts", "/stream"} {
 		rec := httptest.NewRecorder()
 		mux.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
 		if rec.Code != http.StatusNotFound {
 			t.Errorf("%s without engine = %d, want 404", path, rec.Code)
 		}
+	}
+}
+
+// TestDebugMuxTracesEndpoint: /traces serves the recorder's kept-trace
+// ring as JSON with sampler stats, honors query filters, and 404s when
+// tracing is off.
+func TestDebugMuxTracesEndpoint(t *testing.T) {
+	rec, err := reqtrace.NewRecorder(&reqtrace.Spec{SampleOneIn: 1, RingSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.Bind(1, rng.New(1).Split("reqtrace"))
+	for i := 0; i < 3; i++ {
+		tr := rec.Begin(int64(i), "db-0")
+		tr.Add(reqtrace.SpanArrival, 0, 0)
+		tr.AddDispatch(0, float64(10+i), "node-1", 0.4)
+		outcome := reqtrace.OutcomeOK
+		if i == 2 {
+			outcome = reqtrace.OutcomeError
+		}
+		if _, ok := rec.Finish(outcome, 5, float64(10+i), 0, i, true); !ok {
+			t.Fatalf("trace %d dropped", i)
+		}
+	}
+	mux := newDebugMux(&obs.Session{}, nil, nil, rec)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/traces?slowest=1&limit=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/traces = %d", resp.StatusCode)
+	}
+	var payload struct {
+		Stats  reqtrace.Stats   `json:"stats"`
+		Traces []reqtrace.Trace `json:"traces"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
+		t.Fatal(err)
+	}
+	if payload.Stats.Kept != 3 {
+		t.Errorf("stats = %+v, want 3 kept", payload.Stats)
+	}
+	if len(payload.Traces) != 2 || payload.Traces[0].LatencyMs != 12 {
+		t.Errorf("slowest-first limit 2: %+v", payload.Traces)
+	}
+	if payload.Traces[0].OutcomeS != "error" || len(payload.Traces[0].Spans) != 2 {
+		t.Errorf("trace payload lost fields: %+v", payload.Traces[0])
+	}
+
+	// Outcome filter.
+	resp2, err := srv.Client().Get(srv.URL + "/traces?outcome=ok")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	payload.Traces = nil
+	if err := json.NewDecoder(resp2.Body).Decode(&payload); err != nil {
+		t.Fatal(err)
+	}
+	if len(payload.Traces) != 2 {
+		t.Errorf("outcome=ok filter returned %d traces", len(payload.Traces))
+	}
+
+	// Without a recorder the endpoint is a 404, like the other gated ones.
+	off := newDebugMux(&obs.Session{}, nil, nil, nil)
+	w := httptest.NewRecorder()
+	off.ServeHTTP(w, httptest.NewRequest("GET", "/traces", nil))
+	if w.Code != http.StatusNotFound {
+		t.Errorf("/traces without -reqtrace = %d, want 404", w.Code)
 	}
 }

@@ -50,6 +50,7 @@ import (
 	"toto/internal/obs"
 	"toto/internal/obs/alert"
 	"toto/internal/obs/journal"
+	"toto/internal/obs/reqtrace"
 	"toto/internal/obs/timeseries"
 	"toto/internal/slo"
 	"toto/internal/telemetry"
@@ -64,6 +65,7 @@ func main() {
 	chaosPath := flag.String("chaos", "", "JSON chaos spec file injected over the measured window")
 	chaosSeed := flag.Uint64("chaos-seed", 0, "override the chaos spec's seed (nonzero)")
 	trafficPath := flag.String("traffic", "", "JSON traffic spec file: drive request-level traffic over the measured window")
+	reqtraceOn := flag.Bool("reqtrace", false, "trace every simulated request with tail-based sampling (needs a traffic spec; /traces on -http)")
 	httpAddr := flag.String("http", "", "serve a live debug endpoint on this address (dashboard at /, pprof, /metrics, /journal/tail, /alerts, SSE /stream)")
 	topology := flag.String("topology", "", "stripe nodes over fault and upgrade domains, as FDxUD (e.g. 4x3)")
 	upgradeStart := flag.Float64("upgrade", 0, "schedule a safety-checked domain upgrade this many hours into the measured window (needs -topology or a scenario topology section)")
@@ -172,6 +174,14 @@ func main() {
 		}
 		spec.Traffic = ts
 	}
+	if *reqtraceOn {
+		if spec.Traffic == nil {
+			fail(fmt.Errorf("-reqtrace given without a traffic spec (-traffic or scenario \"traffic\" section)"))
+		}
+		if spec.Traffic.Reqtrace == nil {
+			spec.Traffic.Reqtrace = &reqtrace.Spec{} // defaults: 1-in-1000, ring 512
+		}
+	}
 	if *chaosSeed != 0 {
 		if spec.Chaos == nil {
 			fail(fmt.Errorf("-chaos-seed given without a chaos spec (-chaos or scenario \"chaos\" section)"))
@@ -237,6 +247,16 @@ func main() {
 		series = timeseries.NewStore(resolution, capacity)
 		sc.SeriesStore = series
 	}
+	// A traced run builds its recorder up front so the debug endpoint's
+	// /traces handler can attach to the kept-trace ring before the run.
+	var rec *reqtrace.Recorder
+	if sc.Traffic != nil && sc.Traffic.Reqtrace != nil {
+		rec, err = reqtrace.NewRecorder(sc.Traffic.Reqtrace)
+		if err != nil {
+			fail(err)
+		}
+		sc.TraceRecorder = rec
+	}
 	// With -http the alert engine is built here (even with zero rules) so
 	// the dashboard's /alerts and /stream endpoints can attach before the
 	// run starts; the orchestrator binds it to the cluster and sim clock.
@@ -248,7 +268,7 @@ func main() {
 		if jw != nil {
 			jw.EnableTail()
 		}
-		debugSrv.Store(serveDebug(*httpAddr, newDebugMux(sess, jw, eng)))
+		debugSrv.Store(serveDebug(*httpAddr, newDebugMux(sess, jw, eng, rec)))
 	}
 	res, err := core.Run(sc)
 	if err != nil {
@@ -317,6 +337,11 @@ func main() {
 			st.Retries, st.RetriesDenied, st.Errors, st.ErrorRate)
 		fmt.Printf("traffic: latency p50 %.1fms p99 %.1fms p999 %.1fms, %d/%d hours over the %gms p99 SLO\n",
 			st.P50Ms, st.P99Ms, st.P999Ms, st.SLOViolationHours, st.HoursObserved, st.SLOP99Ms)
+		if rt := st.Reqtrace; rt != nil {
+			fmt.Printf("reqtrace: %d trace groups, %d kept (%d failures, %d exemplars, %d sampled), %d dropped\n",
+				rt.Considered, rt.Kept, rt.KeptErrors+rt.KeptSheds+rt.KeptRejected,
+				rt.KeptExemplar, rt.KeptSampled, rt.Dropped)
+		}
 	}
 
 	if *outDir == "" {

@@ -205,10 +205,11 @@ func Run(s *Scenario) (*Result, error) {
 	// precede the tick that observes them at equal timestamps.
 	var trafficEng *traffic.Engine
 	if s.Traffic != nil {
-		trafficEng, err = traffic.NewEngine(o.Clock, o.Cluster, s.Traffic, s.SeriesStore, s.Obs)
+		trafficEng, err = traffic.NewEngine(o.Clock, o.Cluster, s.Traffic, s.SeriesStore, s.Obs, s.TraceRecorder)
 		if err != nil {
 			return nil, err
 		}
+		trafficEng.RegisterProm(s.Obs.Registry())
 		trafficEng.Start(measureStart)
 	}
 	o.Clock.RunUntil(measureStart.Add(s.Duration))
@@ -293,6 +294,12 @@ func Run(s *Scenario) (*Result, error) {
 		s.Obs.Gauge("traffic.p99_ms").Set(st.P99Ms)
 		s.Obs.Gauge("traffic.p999_ms").Set(st.P999Ms)
 		s.Obs.Gauge("traffic.slo_violation_hours").Set(float64(st.SLOViolationHours))
+		s.Obs.Gauge("traffic.slo_p99_ms").Set(st.SLOP99Ms)
+		if rt := st.Reqtrace; rt != nil {
+			s.Obs.Gauge("traffic.traces_considered").Set(float64(rt.Considered))
+			s.Obs.Gauge("traffic.traces_kept").Set(float64(rt.Kept))
+			s.Obs.Gauge("traffic.traces_kept_errors").Set(float64(rt.KeptErrors))
+		}
 	}
 	// Read alert stats before the deferred Stop tears the engine down.
 	if eng := o.Alerts(); eng != nil && eng.RuleCount() > 0 {

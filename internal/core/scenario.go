@@ -17,6 +17,7 @@ import (
 	"toto/internal/obs"
 	"toto/internal/obs/alert"
 	"toto/internal/obs/journal"
+	"toto/internal/obs/reqtrace"
 	"toto/internal/obs/timeseries"
 	"toto/internal/slo"
 	"toto/internal/traffic"
@@ -127,6 +128,12 @@ type Scenario struct {
 	// default) constructs no engine at all — the fabric hot path is
 	// untouched.
 	Traffic *traffic.Spec
+	// TraceRecorder, when set alongside Traffic, receives the traffic
+	// plane's kept request traces (see internal/obs/reqtrace) — totosim
+	// builds it up front so its HTTP /traces endpoint can attach before
+	// the run starts. nil lets the engine build one from
+	// Traffic.Reqtrace, or run untraced when that is nil too.
+	TraceRecorder *reqtrace.Recorder
 	// FabricOverrides, when set, is applied to the fabric configuration
 	// after the scenario's defaults — the hook ablation benches use to
 	// flip PLB policies (greedy placement, degradation accounting,

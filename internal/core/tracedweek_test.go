@@ -1,0 +1,119 @@
+package core
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+
+	"toto/internal/obs/journal"
+	"toto/internal/obs/reqtrace"
+	"toto/internal/traffic"
+)
+
+// TestTracedWeekScenario runs scenarios/traffic-week-traced.json — the
+// traffic week with request tracing on and a tightened 100 ms SLO that
+// forces violating hours — and asserts the end-to-end observability
+// contract the tooling depends on: traces journal and decode, every
+// failed request group the plane counted has a kept trace whose root
+// cause chains to the chaos schedule, and every SLO-violating hour's
+// p99 bucket carries an exemplar trace ID.
+func TestTracedWeekScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("7-day traced traffic scenario")
+	}
+	data, err := os.ReadFile("../../scenarios/traffic-week-traced.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf, err := ParseScenarioFile(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sf.Traffic == nil || sf.Traffic.Reqtrace == nil {
+		t.Fatal("traffic-week-traced.json must carry a reqtrace section")
+	}
+	sc := sf.Build(DefaultModels().Set)
+	var buf bytes.Buffer
+	sc.Journal = journal.NewWriter(&buf)
+
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := sc.Journal.Close(); err != nil {
+		t.Fatalf("journal close: %v", err)
+	}
+	st := res.Traffic
+	if st == nil || st.Reqtrace == nil {
+		t.Fatal("traced run returned no sampler stats")
+	}
+	rt := st.Reqtrace
+	t.Logf("sampler stats: %+v", *rt)
+	if rt.Kept == 0 || rt.KeptErrors == 0 || rt.KeptSheds == 0 {
+		t.Fatalf("fault week kept no failure traces: %+v", rt)
+	}
+	if st.SLOViolationHours == 0 {
+		t.Fatal("the 100ms SLO produced no violating hours — the scenario lost its point")
+	}
+
+	entries, err := journal.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := journal.Index(entries)
+
+	var annErrors, annSheds float64
+	var trErrors, trSheds int64
+	traceCount, violating, missingExemplar := 0, 0, 0
+	for i := range entries {
+		e := &entries[i]
+		if e.Type != journal.TypeAnnotation {
+			continue
+		}
+		switch e.Kind {
+		case traffic.KindRequestErrors:
+			annErrors += e.Value
+		case traffic.KindRequestShed:
+			annSheds += e.Value
+		case traffic.KindRequestTrace:
+			traceCount++
+			tr, err := reqtrace.DecodeDetail(e.Detail)
+			if err != nil {
+				t.Fatalf("seq %d: undecodable trace: %v", e.Seq, err)
+			}
+			switch tr.Outcome {
+			case reqtrace.OutcomeError:
+				trErrors += tr.Count
+			case reqtrace.OutcomeShed:
+				trSheds += tr.Count
+			}
+			if tr.Outcome.Failed() {
+				if root := journal.RootCause(idx, e); root == "none" || root == "unknown" {
+					t.Errorf("seq %d: failed %s trace has root cause %q", e.Seq, tr.OutcomeS, root)
+				}
+			}
+		case traffic.KindTraceHour:
+			if !strings.Contains(e.Detail, "violation=1") {
+				continue
+			}
+			violating++
+			if strings.Contains(e.Detail, "exemplar=missing") {
+				missingExemplar++
+				t.Errorf("SLO-violating hour at T=%d has no p99 exemplar: %s", e.T, e.Detail)
+			}
+		}
+	}
+
+	if int64(traceCount) != rt.Kept {
+		t.Errorf("journaled %d traces, sampler kept %d", traceCount, rt.Kept)
+	}
+	if trErrors != int64(annErrors) || trSheds != int64(annSheds) {
+		t.Errorf("coverage gap: traces carry %d errors / %d sheds, annotations counted %.0f / %.0f",
+			trErrors, trSheds, annErrors, annSheds)
+	}
+	if violating != st.SLOViolationHours {
+		t.Errorf("%d violating hour annotations, stats counted %d", violating, st.SLOViolationHours)
+	}
+	t.Logf("traces: %d kept, %d violating hours, %d missing exemplars", traceCount, violating, missingExemplar)
+}

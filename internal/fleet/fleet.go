@@ -290,6 +290,18 @@ func Fingerprint(res *core.Result) string {
 		wf(st.P50Ms)
 		wf(st.P99Ms)
 		wf(st.P999Ms)
+		// The tail sampler's counters fold in only when tracing ran, so
+		// untraced fleets keep their historical fingerprints.
+		if rt := st.Reqtrace; rt != nil {
+			wi(rt.Considered)
+			wi(rt.Kept)
+			wi(rt.KeptErrors)
+			wi(rt.KeptSheds)
+			wi(rt.KeptRejected)
+			wi(rt.KeptExemplar)
+			wi(rt.KeptSampled)
+			wi(rt.Dropped)
+		}
 	}
 
 	wi(int64(len(res.Samples)))

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"toto/internal/core"
+	"toto/internal/obs/reqtrace"
 	"toto/internal/traffic"
 )
 
@@ -168,6 +169,79 @@ func TestFleetTrafficParallelDeterminism(t *testing.T) {
 		if pr.Result.UnplannedFailovers != tr.Result.UnplannedFailovers ||
 			pr.Result.Revenue.Adjusted != tr.Result.Revenue.Adjusted {
 			t.Errorf("cell %s: traffic plane perturbed the fabric outputs", pr.Spec.Name)
+		}
+	}
+}
+
+// TestFleetTracedParallelDeterminism is the sampler's cross-worker
+// contract: request tracing draws from its own rng stream inside each
+// cell, so a traced fleet run in parallel is bit-identical to the serial
+// reference — sampler counters included, because they fold into the
+// fingerprint when tracing is on. Against the identical untraced fleet,
+// only the fingerprint may differ (the counters join the digest); every
+// traffic aggregate stays the same.
+func TestFleetTracedParallelDeterminism(t *testing.T) {
+	traced := func(workers int, trace bool) Config {
+		cfg := testConfig(workers)
+		cfg.Densities = []float64{1.0, 1.2}
+		cfg.Configure = func(spec RunSpec, sc *core.Scenario) {
+			ts := &traffic.Spec{Seed: 0xF00D + uint64(spec.Index), SLOP99Ms: 500}
+			if trace {
+				ts.Reqtrace = &reqtrace.Spec{SampleOneIn: 50}
+			}
+			sc.Traffic = ts
+		}
+		return cfg
+	}
+	serial, err := Run(traced(1, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs := serial.Errs(); len(errs) > 0 {
+		t.Fatalf("serial traced fleet failed: %v", errs)
+	}
+	par, err := Run(traced(4, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs := par.Errs(); len(errs) > 0 {
+		t.Fatalf("parallel traced fleet failed: %v", errs)
+	}
+	for i := range serial.Runs {
+		s, p := serial.Runs[i], par.Runs[i]
+		rt := s.Result.Traffic.Reqtrace
+		if rt == nil || rt.Considered == 0 || rt.Kept == 0 {
+			t.Fatalf("cell %s kept no traces: %+v", s.Spec.Name, rt)
+		}
+		if s.Fingerprint != p.Fingerprint {
+			t.Errorf("cell %s: serial fingerprint %s != parallel %s",
+				s.Spec.Name, s.Fingerprint, p.Fingerprint)
+		}
+		if prt := p.Result.Traffic.Reqtrace; *rt != *prt {
+			t.Errorf("cell %s: sampler counters diverged across workers:\nserial   %+v\nparallel %+v",
+				s.Spec.Name, rt, prt)
+		}
+	}
+
+	// The untraced twin: tracing must not move a single traffic number,
+	// only the fingerprint (which now folds the sampler counters).
+	plain, err := Run(traced(1, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plain.Runs {
+		pr, tr := plain.Runs[i], serial.Runs[i]
+		if pr.Result.Traffic.Reqtrace != nil {
+			t.Fatalf("cell %s grew sampler stats without tracing", pr.Spec.Name)
+		}
+		if pr.Fingerprint == tr.Fingerprint {
+			t.Errorf("cell %s: sampler counters did not join the traced fingerprint", pr.Spec.Name)
+		}
+		pu, tu := *pr.Result.Traffic, *tr.Result.Traffic
+		pu.Reqtrace, tu.Reqtrace = nil, nil
+		if pu != tu {
+			t.Errorf("cell %s: tracing perturbed traffic stats:\nuntraced %+v\ntraced   %+v",
+				pr.Spec.Name, pu, tu)
 		}
 	}
 }

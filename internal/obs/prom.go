@@ -53,12 +53,23 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 			p, promHelp(name, "histogram"), p); err != nil {
 			return err
 		}
-		// Buckets are exported cumulatively, as Prometheus expects;
-		// the snapshot stores per-bucket counts.
+		// Buckets are exported cumulatively, as Prometheus expects; the
+		// snapshot stores per-bucket counts. A bucket exemplar renders in
+		// the OpenMetrics form (`# {trace_id="..."} value`) appended to
+		// the bucket line — Prometheus-text parsers ignore everything
+		// after '#', OpenMetrics scrapers pick up the trace join.
 		cum := int64(0)
 		for _, b := range h.Buckets {
 			cum += b.Count
-			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", p, fmt.Sprintf("%g", b.Le), cum); err != nil {
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d", p, fmt.Sprintf("%g", b.Le), cum); err != nil {
+				return err
+			}
+			if ex := b.Exemplar; ex != nil {
+				if _, err := fmt.Fprintf(w, " # {trace_id=%q} %g", ex.TraceID, ex.Value); err != nil {
+					return err
+				}
+			}
+			if _, err := io.WriteString(w, "\n"); err != nil {
 				return err
 			}
 		}

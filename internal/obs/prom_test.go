@@ -129,3 +129,74 @@ func TestMetricsHandlerNilRegistry(t *testing.T) {
 		t.Errorf("nil registry should expose nothing, got %q", body)
 	}
 }
+
+// TestHistogramProviderSnapshot: a registered provider supplies a
+// ready-made histogram under its name, shadowing any same-named registry
+// histogram, and providers survive a nil registry.
+func TestHistogramProviderSnapshot(t *testing.T) {
+	reg := NewRegistry()
+	reg.Histogram("traffic.latency_ms").Observe(1) // shadowed below
+	reg.RegisterHistogramProvider("traffic.latency_ms", func() HistogramSnapshot {
+		return HistogramSnapshot{
+			Count: 10, Sum: 42.5,
+			Buckets: []BucketCount{
+				{Le: 0.25, Count: 4},
+				{Le: 2.5, Count: 6, Exemplar: &Exemplar{TraceID: "00000000deadbeef", Value: 2.1}},
+			},
+		}
+	})
+	reg.RegisterHistogramProvider("nil-fn", nil) // no-op, must not register
+
+	snap := reg.Snapshot()
+	h, ok := snap.Histograms["traffic.latency_ms"]
+	if !ok {
+		t.Fatal("provider histogram missing from snapshot")
+	}
+	if h.Count != 10 || h.Sum != 42.5 || len(h.Buckets) != 2 {
+		t.Fatalf("provider did not shadow the registry histogram: %+v", h)
+	}
+	if ex := h.Buckets[1].Exemplar; ex == nil || ex.TraceID != "00000000deadbeef" {
+		t.Fatalf("exemplar lost in snapshot: %+v", h.Buckets[1])
+	}
+	if _, ok := snap.Histograms["nil-fn"]; ok {
+		t.Error("nil provider was registered")
+	}
+
+	var nilReg *Registry
+	nilReg.RegisterHistogramProvider("x", func() HistogramSnapshot { return HistogramSnapshot{} })
+}
+
+// TestPromExemplarRendering: a bucket exemplar renders as an OpenMetrics
+// suffix on its cumulative bucket line; exemplar-free buckets render
+// unchanged, and the histogram stays cumulative.
+func TestPromExemplarRendering(t *testing.T) {
+	reg := NewRegistry()
+	reg.RegisterHistogramProvider("traffic.latency_ms", func() HistogramSnapshot {
+		return HistogramSnapshot{
+			Count: 9, Sum: 30,
+			Buckets: []BucketCount{
+				{Le: 1, Count: 4},
+				{Le: 5, Count: 3, Exemplar: &Exemplar{TraceID: "0000000000000abc", Value: 3.25}},
+				{Le: 25, Count: 2},
+			},
+		}
+	})
+	var b strings.Builder
+	if err := WritePrometheus(&b, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE toto_traffic_latency_ms histogram\n",
+		"toto_traffic_latency_ms_bucket{le=\"1\"} 4\n",
+		"toto_traffic_latency_ms_bucket{le=\"5\"} 7 # {trace_id=\"0000000000000abc\"} 3.25\n",
+		"toto_traffic_latency_ms_bucket{le=\"25\"} 9\n",
+		"toto_traffic_latency_ms_bucket{le=\"+Inf\"} 9\n",
+		"toto_traffic_latency_ms_sum 30\n",
+		"toto_traffic_latency_ms_count 9\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\nfull output:\n%s", want, out)
+		}
+	}
+}

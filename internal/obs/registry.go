@@ -16,10 +16,11 @@ import (
 // bump them from a hot path. All handle methods are nil-receiver no-ops,
 // so code instrumented against a disabled layer pays nothing.
 type Registry struct {
-	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	hists    map[string]*Histogram
+	mu        sync.Mutex
+	counters  map[string]*Counter
+	gauges    map[string]*Gauge
+	hists     map[string]*Histogram
+	providers map[string]func() HistogramSnapshot
 }
 
 // NewRegistry returns an empty registry.
@@ -28,7 +29,26 @@ func NewRegistry() *Registry {
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
+		// providers is allocated lazily: most registries never host one.
 	}
+}
+
+// RegisterHistogramProvider registers a callback that supplies a
+// ready-made histogram snapshot under name — for subsystems that keep
+// their own histogram layout (e.g. the traffic plane's latency buckets)
+// instead of observing into a registry Histogram. The provider is called
+// during Snapshot and must be safe from any goroutine. A provider
+// shadows a same-named registry histogram. Nil-registry no-op.
+func (r *Registry) RegisterHistogramProvider(name string, fn func() HistogramSnapshot) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.providers == nil {
+		r.providers = make(map[string]func() HistogramSnapshot)
+	}
+	r.providers[name] = fn
 }
 
 // Counter returns the named counter, registering it on first use. A nil
@@ -183,11 +203,21 @@ func (h *Histogram) Sum() float64 {
 	return math.Float64frombits(h.sumBits.Load())
 }
 
+// Exemplar ties a histogram bucket to one concrete observation — a kept
+// request trace's ID and exact value — following the OpenMetrics
+// exemplar idea.
+type Exemplar struct {
+	TraceID string  `json:"trace_id"`
+	Value   float64 `json:"value"`
+}
+
 // BucketCount is one non-empty histogram bucket in a snapshot. Le is the
-// bucket's inclusive upper bound.
+// bucket's inclusive upper bound. Exemplar is non-nil only when the
+// producing subsystem attached a trace exemplar to the bucket.
 type BucketCount struct {
-	Le    float64 `json:"le"`
-	Count int64   `json:"count"`
+	Le       float64   `json:"le"`
+	Count    int64     `json:"count"`
+	Exemplar *Exemplar `json:"exemplar,omitempty"`
 }
 
 // HistogramSnapshot is one histogram's exported state. Overflow counts
@@ -238,6 +268,10 @@ func (r *Registry) Snapshot() Snapshot {
 		}
 		hs.Overflow = h.counts[histBuckets-1].Load()
 		s.Histograms[name] = hs
+	}
+	// Providers must not call back into this registry (r.mu is held).
+	for name, fn := range r.providers {
+		s.Histograms[name] = fn()
 	}
 	return s
 }

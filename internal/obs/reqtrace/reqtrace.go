@@ -1,0 +1,408 @@
+// Package reqtrace is per-request distributed tracing for the simulated
+// traffic plane. Every served request group carries a span tree —
+// arrival → queue wait → admission → breaker decision → dispatch
+// (node, utilization at dispatch) → retry backoff → completion or
+// failure — assembled in place from pooled buffers so the traffic hot
+// path never allocates for a trace it ends up dropping.
+//
+// Sampling is tail-based and deterministic: the keep decision is made at
+// trace completion, when the outcome and latency are known. The sampler
+// keeps 100% of failed traces (errors, sheds, breaker rejections), the
+// first trace landing in each latency-histogram bucket per observation
+// hour (so every non-empty bucket — the p99 bucket of an SLO-violating
+// hour included — carries an exemplar), and 1-in-N successes drawn from
+// a dedicated internal/rng stream split off the traffic seed. Because
+// the stream is independent and the decision order is fixed by the
+// simulation goroutine, a traced run is bit-reproducible and the
+// modeled request stream is bit-identical to the untraced run.
+//
+// The engine is aggregate — it serves request groups, not individual
+// requests — so one Trace represents Count requests that took the same
+// path at the same modeled latency. Kept traces are encoded into the
+// journal's annotation Detail field (see EncodeDetail) inside the same
+// causal bracket as the failure they describe, so a trace's root cause
+// is exactly the journal's attribution for the incident.
+package reqtrace
+
+import (
+	"fmt"
+	"sync"
+
+	"toto/internal/rng"
+)
+
+// Span names the engine emits, in path order.
+const (
+	SpanArrival   = "arrival"
+	SpanQueueWait = "queue-wait"
+	SpanAdmission = "admission"
+	SpanBreaker   = "breaker"
+	SpanDispatch  = "dispatch"
+	SpanBackoff   = "retry-backoff"
+	SpanComplete  = "complete"
+	SpanError     = "error"
+	SpanShed      = "shed"
+	SpanReject    = "breaker-reject"
+)
+
+// Outcome classifies how a request group ended.
+type Outcome uint8
+
+const (
+	OutcomeOK Outcome = iota
+	OutcomeError
+	OutcomeShed
+	OutcomeRejected
+)
+
+var outcomeNames = [...]string{"ok", "error", "shed", "breaker-rejected"}
+
+// String returns the stable wire name of the outcome.
+func (o Outcome) String() string {
+	if int(o) < len(outcomeNames) {
+		return outcomeNames[o]
+	}
+	return fmt.Sprintf("outcome-%d", int(o))
+}
+
+// ParseOutcome inverts String.
+func ParseOutcome(s string) (Outcome, bool) {
+	for i, name := range outcomeNames {
+		if s == name {
+			return Outcome(i), true
+		}
+	}
+	return 0, false
+}
+
+// Failed reports whether the outcome is a user-visible failure. Failed
+// outcomes are always kept by the sampler — that is the tail-based
+// sampling contract, fuzz-tested in this package.
+func (o Outcome) Failed() bool { return o != OutcomeOK }
+
+// Span is one step of a request group's path. StartMs and DurMs are
+// offsets from the group's arrival, in modeled milliseconds. Node and
+// Util are set on dispatch spans only: the primary's host node and its
+// core utilization at dispatch time.
+type Span struct {
+	Name    string  `json:"name"`
+	StartMs float64 `json:"startMs"`
+	DurMs   float64 `json:"durMs"`
+	Node    string  `json:"node,omitempty"`
+	Util    float64 `json:"util,omitempty"`
+}
+
+// Trace is one kept request group: Count requests that took the same
+// path through the front end at the same modeled latency.
+type Trace struct {
+	ID        uint64  `json:"-"`
+	IDHex     string  `json:"id"`
+	Time      int64   `json:"t"` // arrival, Unix nanoseconds of sim time
+	Service   string  `json:"service"`
+	Outcome   Outcome `json:"-"`
+	OutcomeS  string  `json:"outcome"`
+	Count     int64   `json:"count"`
+	LatencyMs float64 `json:"latencyMs"`
+	Retries   int     `json:"retries,omitempty"`
+	Spans     []Span  `json:"spans"`
+}
+
+// IDString formats a trace ID the way every surface prints it.
+func IDString(id uint64) string { return fmt.Sprintf("%016x", id) }
+
+// TraceID derives the deterministic ID of a trace from its identity:
+// the sampler seed, arrival time, service, outcome, and the group's
+// index within the tick. FNV-1a over the fields — stable across runs,
+// platforms, and worker counts.
+func TraceID(seed uint64, t int64, service string, outcome Outcome, group int) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	mix(seed)
+	mix(uint64(t))
+	for i := 0; i < len(service); i++ {
+		h ^= uint64(service[i])
+		h *= prime64
+	}
+	mix(uint64(outcome))
+	mix(uint64(group))
+	return h
+}
+
+// Spec is the JSON-configurable sampler policy, carried inside the
+// traffic spec's "reqtrace" section. A nil Spec means tracing is off:
+// no recorder is constructed and the traffic hot path is untouched.
+type Spec struct {
+	// SampleOneIn keeps one in this many successful request groups on
+	// top of the always-kept failures and per-bucket exemplars.
+	// Default 1000.
+	SampleOneIn int `json:"sampleOneIn,omitempty"`
+	// RingSize bounds the in-memory ring of kept traces served by the
+	// live /traces endpoint. Default 512.
+	RingSize int `json:"ringSize,omitempty"`
+}
+
+// Validate checks the spec's knobs. Nil-safe: nil means tracing off.
+func (s *Spec) Validate() error {
+	if s == nil {
+		return nil
+	}
+	if s.SampleOneIn < 0 {
+		return fmt.Errorf("reqtrace: negative sampleOneIn %d", s.SampleOneIn)
+	}
+	if s.RingSize < 0 {
+		return fmt.Errorf("reqtrace: negative ringSize %d", s.RingSize)
+	}
+	return nil
+}
+
+// withDefaults resolves zero knobs.
+func (s *Spec) withDefaults() Spec {
+	out := *s
+	if out.SampleOneIn == 0 {
+		out.SampleOneIn = 1000
+	}
+	if out.RingSize == 0 {
+		out.RingSize = 512
+	}
+	return out
+}
+
+// Stats are the sampler's counters, folded into fleet fingerprints only
+// when tracing is enabled so traced and untraced fleets never share a
+// digest space by accident.
+type Stats struct {
+	Considered   int64 // request groups offered to the sampler
+	Kept         int64 // traces kept, all policies combined
+	KeptErrors   int64 // kept because the group errored
+	KeptSheds    int64 // kept because the group was shed
+	KeptRejected int64 // kept because a breaker rejected the group
+	KeptExemplar int64 // kept as the first trace in a latency bucket
+	KeptSampled  int64 // kept by the 1-in-N success draw
+	Dropped      int64 // successful groups the sampler let go
+}
+
+// Sampler makes tail-based keep decisions. It must only be used from
+// the simulation goroutine; its draws come from a stream split off the
+// traffic seed so enabling tracing cannot perturb the modeled plane.
+type Sampler struct {
+	oneIn int
+	rnd   *rng.Source
+	stats Stats
+}
+
+// NewSampler builds a sampler with the resolved spec and its own rng
+// stream.
+func NewSampler(spec Spec, rnd *rng.Source) *Sampler {
+	return &Sampler{oneIn: spec.SampleOneIn, rnd: rnd}
+}
+
+// Keep decides whether a completed trace is kept. Failed outcomes are
+// always kept. Successful groups are kept when they are the first to
+// land in their latency bucket this hour (bucketFirst — the exemplar
+// guarantee) or when the 1-in-N draw selects them; the draw happens for
+// every successful group so the decision stream depends only on the
+// deterministic group order, never on bucket state.
+func (s *Sampler) Keep(outcome Outcome, bucketFirst bool) bool {
+	s.stats.Considered++
+	if outcome.Failed() {
+		s.stats.Kept++
+		switch outcome {
+		case OutcomeError:
+			s.stats.KeptErrors++
+		case OutcomeShed:
+			s.stats.KeptSheds++
+		case OutcomeRejected:
+			s.stats.KeptRejected++
+		}
+		return true
+	}
+	sampled := s.rnd != nil && s.oneIn > 0 && s.rnd.Intn(s.oneIn) == 0
+	switch {
+	case bucketFirst:
+		s.stats.Kept++
+		s.stats.KeptExemplar++
+	case sampled:
+		s.stats.Kept++
+		s.stats.KeptSampled++
+	default:
+		s.stats.Dropped++
+		return false
+	}
+	return true
+}
+
+// Stats returns a copy of the sampler's counters.
+func (s *Sampler) Stats() Stats { return s.stats }
+
+// Recorder assembles traces allocation-free and retains kept ones in a
+// bounded ring for the live /traces endpoint. The assembly side (Begin/
+// span appends/Finish) runs on the simulation goroutine only; the ring
+// and stats are mutex-guarded so an HTTP goroutine may snapshot them
+// mid-run.
+type Recorder struct {
+	spec    Spec
+	sampler *Sampler
+	seed    uint64
+
+	// cur is the in-progress trace. Its Spans backing array is reused
+	// across groups, so a dropped trace costs zero allocations.
+	cur Trace
+
+	mu   sync.Mutex
+	ring []Trace
+	next int
+	kept int64
+}
+
+// NewRecorder validates the spec and builds an unbound recorder. Bind
+// must be called (the traffic engine does) before traces are recorded.
+func NewRecorder(spec *Spec) (*Recorder, error) {
+	if spec == nil {
+		return nil, fmt.Errorf("reqtrace: nil spec")
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	resolved := spec.withDefaults()
+	return &Recorder{
+		spec: resolved,
+		cur:  Trace{Spans: make([]Span, 0, 8)},
+		ring: make([]Trace, 0, resolved.RingSize),
+	}, nil
+}
+
+// Bind attaches the sampler's rng stream and the seed that derives
+// trace IDs. Called once by the traffic engine at construction.
+func (r *Recorder) Bind(seed uint64, rnd *rng.Source) {
+	r.seed = seed
+	r.sampler = NewSampler(r.spec, rnd)
+}
+
+// Begin resets the in-progress trace for a new request group and
+// returns it for span assembly. No allocation: the span slice's backing
+// array is reused.
+func (r *Recorder) Begin(t int64, service string) *Trace {
+	r.cur.ID = 0
+	r.cur.IDHex = ""
+	r.cur.Time = t
+	r.cur.Service = service
+	r.cur.Outcome = OutcomeOK
+	r.cur.OutcomeS = ""
+	r.cur.Count = 0
+	r.cur.LatencyMs = 0
+	r.cur.Retries = 0
+	r.cur.Spans = r.cur.Spans[:0]
+	return &r.cur
+}
+
+// Add appends a plain span to the in-progress trace.
+func (t *Trace) Add(name string, startMs, durMs float64) {
+	t.Spans = append(t.Spans, Span{Name: name, StartMs: startMs, DurMs: durMs})
+}
+
+// AddDispatch appends a dispatch span carrying the host node and its
+// utilization at dispatch time.
+func (t *Trace) AddDispatch(startMs, durMs float64, node string, util float64) {
+	t.Spans = append(t.Spans, Span{Name: SpanDispatch, StartMs: startMs, DurMs: durMs, Node: node, Util: util})
+}
+
+// Finish completes the in-progress trace and runs the tail-based keep
+// decision. group indexes the trace within its (time, service, outcome)
+// tick so IDs stay unique when one tick emits several groups. When kept,
+// the trace's ID is assigned and a deep copy enters the ring; the
+// returned pointer (still the pooled buffer) is only valid until the
+// next Begin.
+func (r *Recorder) Finish(outcome Outcome, count int64, latencyMs float64, retries, group int, bucketFirst bool) (*Trace, bool) {
+	r.cur.Outcome = outcome
+	r.cur.OutcomeS = outcome.String()
+	r.cur.Count = count
+	r.cur.LatencyMs = latencyMs
+	r.cur.Retries = retries
+	if !r.sampler.Keep(outcome, bucketFirst) {
+		return nil, false
+	}
+	r.cur.ID = TraceID(r.seed, r.cur.Time, r.cur.Service, outcome, group)
+	r.cur.IDHex = IDString(r.cur.ID)
+	cp := r.cur
+	cp.Spans = append([]Span(nil), r.cur.Spans...)
+	r.mu.Lock()
+	if len(r.ring) < r.spec.RingSize {
+		r.ring = append(r.ring, cp)
+	} else {
+		r.ring[r.next] = cp
+		r.next = (r.next + 1) % r.spec.RingSize
+	}
+	r.kept++
+	r.mu.Unlock()
+	return &r.cur, true
+}
+
+// Stats returns the sampler counters. Safe to call from any goroutine
+// once the run has stopped; mid-run callers get a racy-but-consistent
+// snapshot via the ring mutex.
+func (r *Recorder) Stats() Stats {
+	if r.sampler == nil {
+		return Stats{}
+	}
+	return r.sampler.Stats()
+}
+
+// Query filters a ring snapshot.
+type Query struct {
+	Service string  // exact match when non-empty
+	Outcome string  // outcome name when non-empty
+	MinMs   float64 // minimum latency
+	Limit   int     // max traces returned (0 = all)
+	Slowest bool    // sort by latency descending instead of arrival order
+}
+
+// Snapshot copies the kept-trace ring, oldest first, applying the
+// query. Safe for concurrent use with the simulation goroutine.
+func (r *Recorder) Snapshot(q Query) []Trace {
+	r.mu.Lock()
+	out := make([]Trace, 0, len(r.ring))
+	appendIf := func(t Trace) {
+		if q.Service != "" && t.Service != q.Service {
+			return
+		}
+		if q.Outcome != "" && t.OutcomeS != q.Outcome {
+			return
+		}
+		if t.LatencyMs < q.MinMs {
+			return
+		}
+		out = append(out, t)
+	}
+	for i := r.next; i < len(r.ring); i++ {
+		appendIf(r.ring[i])
+	}
+	for i := 0; i < r.next; i++ {
+		appendIf(r.ring[i])
+	}
+	r.mu.Unlock()
+	if q.Slowest {
+		for i := 1; i < len(out); i++ { // insertion sort: rings are small
+			for j := i; j > 0 && out[j].LatencyMs > out[j-1].LatencyMs; j-- {
+				out[j], out[j-1] = out[j-1], out[j]
+			}
+		}
+	}
+	if q.Limit > 0 && len(out) > q.Limit {
+		if q.Slowest {
+			out = out[:q.Limit]
+		} else {
+			out = out[len(out)-q.Limit:] // newest when in arrival order
+		}
+	}
+	return out
+}

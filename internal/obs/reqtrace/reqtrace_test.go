@@ -1,0 +1,295 @@
+package reqtrace
+
+import (
+	"testing"
+
+	"toto/internal/rng"
+)
+
+// TestEncodeDecodeRoundTrip: every field — including shortest-form
+// floats — survives the annotation wire format bit-identically.
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	traces := []Trace{
+		{
+			ID: 0xdeadbeefcafe1234, Outcome: OutcomeOK, Count: 812,
+			LatencyMs: 3.0000000000000004, Retries: 0,
+			Spans: []Span{
+				{Name: SpanArrival, StartMs: 0, DurMs: 0},
+				{Name: SpanQueueWait, StartMs: 0, DurMs: 2.5},
+				{Name: SpanDispatch, StartMs: 2.5, DurMs: 0.5000000000000001, Node: "node-7", Util: 0.8499999999999999},
+				{Name: SpanComplete, StartMs: 3.0000000000000004, DurMs: 0},
+			},
+		},
+		{
+			ID: 1, Outcome: OutcomeError, Count: 3, LatencyMs: 120.25, Retries: 1,
+			Spans: []Span{
+				{Name: SpanBreaker, StartMs: 0, DurMs: 0},
+				{Name: SpanDispatch, StartMs: 0, DurMs: 120.25, Node: "node-1"},
+				{Name: SpanError, StartMs: 120.25, DurMs: 0},
+			},
+		},
+		{ID: 42, Outcome: OutcomeShed, Count: 999, LatencyMs: 0}, // no spans
+		{ID: ^uint64(0), Outcome: OutcomeRejected, Count: 1, LatencyMs: 1e-9,
+			Spans: []Span{{Name: SpanReject, StartMs: 0, DurMs: 0}}},
+	}
+	for _, in := range traces {
+		in.IDHex = IDString(in.ID)
+		in.OutcomeS = in.Outcome.String()
+		wire := EncodeDetail(&in)
+		out, err := DecodeDetail(wire)
+		if err != nil {
+			t.Fatalf("decode %q: %v", wire, err)
+		}
+		if out.ID != in.ID || out.IDHex != in.IDHex || out.Outcome != in.Outcome ||
+			out.OutcomeS != in.OutcomeS || out.Count != in.Count ||
+			out.LatencyMs != in.LatencyMs || out.Retries != in.Retries {
+			t.Fatalf("header mismatch:\n in=%+v\nout=%+v\nwire=%q", in, out, wire)
+		}
+		if len(out.Spans) != len(in.Spans) {
+			t.Fatalf("span count %d != %d for %q", len(out.Spans), len(in.Spans), wire)
+		}
+		for i := range in.Spans {
+			if out.Spans[i] != in.Spans[i] {
+				t.Fatalf("span %d mismatch:\n in=%+v\nout=%+v\nwire=%q", i, in.Spans[i], out.Spans[i], wire)
+			}
+		}
+		// Re-encoding the decoded trace must reproduce the wire bytes.
+		if again := EncodeDetail(&out); again != wire {
+			t.Fatalf("re-encode drifted:\n first=%q\nsecond=%q", wire, again)
+		}
+	}
+}
+
+// TestDecodeDetailErrors: malformed wire strings produce errors, never
+// panics or silent zero traces.
+func TestDecodeDetailErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"0001|ok|1|2.5",               // too few fields
+		"zzzz|ok|1|2.5|0|",            // bad hex id
+		"0001|huh|1|2.5|0|",           // unknown outcome
+		"0001|ok|x|2.5|0|",            // bad count
+		"0001|ok|1|ms|0|",             // bad latency
+		"0001|ok|1|2.5|x|",            // bad retries
+		"0001|ok|1|2.5|0|arrival",     // span without @
+		"0001|ok|1|2.5|0|arrival@0",   // span without +
+		"0001|ok|1|2.5|0|a@0+1~pct",   // bad util
+		"0001|ok|1|2.5|0|a@zero+1",    // bad start
+		"0001|ok|1|2.5|0|a@0+one@n-1", // bad duration
+	}
+	for _, wire := range bad {
+		if _, err := DecodeDetail(wire); err == nil {
+			t.Errorf("DecodeDetail(%q) accepted malformed input", wire)
+		}
+	}
+}
+
+// TestTraceIDStable pins the FNV mix: IDs must never drift across
+// refactors, or journaled exemplar references go dangling.
+func TestTraceIDStable(t *testing.T) {
+	a := TraceID(11, 1e18, "db-7", OutcomeOK, 3)
+	if b := TraceID(11, 1e18, "db-7", OutcomeOK, 3); a != b {
+		t.Fatalf("TraceID not deterministic: %016x != %016x", a, b)
+	}
+	distinct := map[uint64]string{}
+	for name, id := range map[string]uint64{
+		"base":    a,
+		"seed":    TraceID(12, 1e18, "db-7", OutcomeOK, 3),
+		"time":    TraceID(11, 1e18+1, "db-7", OutcomeOK, 3),
+		"service": TraceID(11, 1e18, "db-8", OutcomeOK, 3),
+		"outcome": TraceID(11, 1e18, "db-7", OutcomeError, 3),
+		"group":   TraceID(11, 1e18, "db-7", OutcomeOK, 4),
+	} {
+		if prev, dup := distinct[id]; dup {
+			t.Fatalf("TraceID collision between %s and %s", prev, name)
+		}
+		distinct[id] = name
+	}
+	if got := IDString(0xabc); got != "0000000000000abc" {
+		t.Fatalf("IDString = %q", got)
+	}
+}
+
+// TestSamplerDeterministic: the same rng stream yields the same keep
+// decisions and counters, decision by decision.
+func TestSamplerDeterministic(t *testing.T) {
+	run := func() ([]bool, Stats) {
+		s := NewSampler(Spec{SampleOneIn: 10, RingSize: 4}, rng.New(77).Split("reqtrace"))
+		var keeps []bool
+		for i := 0; i < 500; i++ {
+			outcome := OutcomeOK
+			switch i % 97 {
+			case 13:
+				outcome = OutcomeError
+			case 41:
+				outcome = OutcomeShed
+			case 89:
+				outcome = OutcomeRejected
+			}
+			keeps = append(keeps, s.Keep(outcome, i%113 == 0))
+		}
+		return keeps, s.Stats()
+	}
+	k1, st1 := run()
+	k2, st2 := run()
+	if st1 != st2 {
+		t.Fatalf("sampler stats diverged:\n%+v\n%+v", st1, st2)
+	}
+	for i := range k1 {
+		if k1[i] != k2[i] {
+			t.Fatalf("keep decision %d diverged", i)
+		}
+	}
+	if st1.Considered != 500 || st1.Kept+st1.Dropped != 500 {
+		t.Fatalf("counters don't add up: %+v", st1)
+	}
+	if st1.KeptErrors == 0 || st1.KeptSheds == 0 || st1.KeptRejected == 0 ||
+		st1.KeptExemplar == 0 || st1.KeptSampled == 0 {
+		t.Fatalf("expected every keep class to fire: %+v", st1)
+	}
+}
+
+// TestSamplerDrawIndependentOfBucketState: the 1-in-N draw is made for
+// every successful group regardless of bucketFirst, so downstream
+// decisions cannot shift when exemplar state differs.
+func TestSamplerDrawIndependentOfBucketState(t *testing.T) {
+	run := func(bucketFirstFirst bool) []bool {
+		s := NewSampler(Spec{SampleOneIn: 3}, rng.New(5).Split("reqtrace"))
+		s.Keep(OutcomeOK, bucketFirstFirst)
+		var rest []bool
+		for i := 0; i < 100; i++ {
+			rest = append(rest, s.Keep(OutcomeOK, false))
+		}
+		return rest
+	}
+	a, b := run(true), run(false)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d shifted with bucket state", i)
+		}
+	}
+}
+
+// TestRecorderRingAndSnapshot: ring rotation keeps the newest RingSize
+// traces, Finish deep-copies spans out of the pooled buffer, and
+// Snapshot's filters and ordering behave.
+func TestRecorderRingAndSnapshot(t *testing.T) {
+	rec, err := NewRecorder(&Spec{SampleOneIn: 1, RingSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.Bind(9, rng.New(9).Split("reqtrace"))
+	for i := 0; i < 10; i++ {
+		svc := "svc-a"
+		if i%2 == 1 {
+			svc = "svc-b"
+		}
+		tr := rec.Begin(int64(i), svc)
+		tr.Add(SpanArrival, 0, 0)
+		tr.AddDispatch(0, float64(i), "node-1", 0.5)
+		outcome := OutcomeOK
+		if i == 9 {
+			outcome = OutcomeError
+		}
+		kept, ok := rec.Finish(outcome, 10, float64(i), 0, i, true)
+		if !ok || kept == nil {
+			t.Fatalf("trace %d not kept (SampleOneIn=1, bucketFirst)", i)
+		}
+		if kept.ID == 0 || kept.IDHex != IDString(kept.ID) {
+			t.Fatalf("trace %d has no ID", i)
+		}
+	}
+
+	all := rec.Snapshot(Query{})
+	if len(all) != 4 {
+		t.Fatalf("ring holds %d traces, want RingSize=4", len(all))
+	}
+	// Oldest first: times 6,7,8,9 survive the rotation.
+	for i, tr := range all {
+		if tr.Time != int64(6+i) {
+			t.Fatalf("ring order: slot %d has time %d", i, tr.Time)
+		}
+		if len(tr.Spans) != 2 || tr.Spans[1].Node != "node-1" {
+			t.Fatalf("ring trace %d lost its spans: %+v", i, tr.Spans)
+		}
+	}
+	// The pooled buffer was reused; the ring copies must be independent.
+	rec.Begin(99, "scratch").Add(SpanShed, 1, 2)
+	if again := rec.Snapshot(Query{}); again[0].Spans[0].Name != SpanArrival {
+		t.Fatal("ring trace aliases the pooled span buffer")
+	}
+
+	if got := rec.Snapshot(Query{Service: "svc-b"}); len(got) != 2 {
+		t.Fatalf("service filter: %d traces", len(got))
+	}
+	if got := rec.Snapshot(Query{Outcome: "error"}); len(got) != 1 || got[0].Time != 9 {
+		t.Fatalf("outcome filter: %+v", got)
+	}
+	if got := rec.Snapshot(Query{MinMs: 8}); len(got) != 2 {
+		t.Fatalf("min-ms filter: %d traces", len(got))
+	}
+	slow := rec.Snapshot(Query{Slowest: true, Limit: 2})
+	if len(slow) != 2 || slow[0].LatencyMs != 9 || slow[1].LatencyMs != 8 {
+		t.Fatalf("slowest ordering: %+v", slow)
+	}
+	newest := rec.Snapshot(Query{Limit: 2})
+	if len(newest) != 2 || newest[0].Time != 8 || newest[1].Time != 9 {
+		t.Fatalf("arrival-order limit should keep newest: %+v", newest)
+	}
+}
+
+// TestSpecValidate: negative knobs rejected, nil and zero specs fine.
+func TestSpecValidate(t *testing.T) {
+	var nilSpec *Spec
+	if err := nilSpec.Validate(); err != nil {
+		t.Fatalf("nil spec: %v", err)
+	}
+	if err := (&Spec{}).Validate(); err != nil {
+		t.Fatalf("zero spec: %v", err)
+	}
+	if err := (&Spec{SampleOneIn: -1}).Validate(); err == nil {
+		t.Fatal("negative sampleOneIn accepted")
+	}
+	if err := (&Spec{RingSize: -1}).Validate(); err == nil {
+		t.Fatal("negative ringSize accepted")
+	}
+	if _, err := NewRecorder(nil); err == nil {
+		t.Fatal("NewRecorder(nil) accepted")
+	}
+	rec, err := NewRecorder(&Spec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.spec.SampleOneIn != 1000 || rec.spec.RingSize != 512 {
+		t.Fatalf("defaults not applied: %+v", rec.spec)
+	}
+}
+
+// FuzzKeep is the tail-sampling contract: whatever the spec, rng seed,
+// bucket state, or decision history, a failed outcome is never dropped.
+func FuzzKeep(f *testing.F) {
+	f.Add(uint64(1), 1000, uint8(1), false, uint16(0))
+	f.Add(uint64(7), 0, uint8(2), true, uint16(300))
+	f.Add(uint64(1<<60), 1, uint8(3), false, uint16(9999))
+	f.Fuzz(func(t *testing.T, seed uint64, oneIn int, outcome uint8, bucketFirst bool, warmup uint16) {
+		if oneIn < 0 {
+			oneIn = -oneIn
+		}
+		s := NewSampler(Spec{SampleOneIn: oneIn}, rng.New(seed).Split("reqtrace"))
+		for i := 0; i < int(warmup)%1024; i++ {
+			s.Keep(Outcome(i%4), i%7 == 0) // arbitrary history
+		}
+		o := Outcome(outcome % 4)
+		kept := s.Keep(o, bucketFirst)
+		if o.Failed() && !kept {
+			t.Fatalf("sampler dropped a failed trace: outcome=%s seed=%d oneIn=%d", o, seed, oneIn)
+		}
+		if o == OutcomeOK && bucketFirst && !kept {
+			t.Fatalf("sampler dropped a bucket-first exemplar: seed=%d oneIn=%d", seed, oneIn)
+		}
+		st := s.Stats()
+		if st.Kept+st.Dropped != st.Considered {
+			t.Fatalf("counters inconsistent: %+v", st)
+		}
+	})
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"toto/internal/fabric"
+	"toto/internal/obs/reqtrace"
 	"toto/internal/rng"
 	"toto/internal/simclock"
 	"toto/internal/traffic"
@@ -18,6 +19,17 @@ func BenchmarkSimulatedDayWithTraffic(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		runTrafficDay(b, traffic.Spec{Seed: 7}, nil, true)
+	}
+}
+
+// BenchmarkSimulatedDayWithTrafficTraced is the same day with request
+// tracing on at the default 1-in-1000 success sampling: the tail
+// sampler's overhead budget, measured against the untraced twin above.
+func BenchmarkSimulatedDayWithTrafficTraced(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		spec := traffic.Spec{Seed: 7, Reqtrace: &reqtrace.Spec{}}
+		runTrafficDay(b, spec, nil, true)
 	}
 }
 

@@ -2,11 +2,13 @@ package traffic
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"toto/internal/fabric"
 	"toto/internal/obs"
 	"toto/internal/obs/journal"
+	"toto/internal/obs/reqtrace"
 	"toto/internal/obs/timeseries"
 	"toto/internal/rng"
 	"toto/internal/simclock"
@@ -24,7 +26,18 @@ const (
 	KindBreakerClosed        = "breaker-closed"
 	KindRetryBudgetExhausted = "retry-budget-exhausted"
 	KindRequestErrors        = "request-errors"
+	// KindRequestTrace carries one kept request trace (reqtrace wire
+	// format in Detail); KindTraceHour closes each observation hour with
+	// its p99 verdict and the p99 bucket's exemplar. Both exist only when
+	// request tracing is enabled and are deliberately absent from the
+	// golden traffic-annotation hash — the traced stream has its own.
+	KindRequestTrace = "request-trace"
+	KindTraceHour    = "request-trace-hour"
 )
+
+// PromHistogramName is the registry name the engine's latency histogram
+// exports under when RegisterProm attaches it to a metrics registry.
+const PromHistogramName = "traffic.latency_ms"
 
 // Timeseries the engine pushes hourly into the run's series store.
 const (
@@ -87,6 +100,10 @@ type Stats struct {
 
 	ErrorRate            float64 // Failed / Arrivals
 	P50Ms, P99Ms, P999Ms float64 // whole-run latency quantiles
+
+	// Reqtrace holds the tail sampler's counters; nil unless request
+	// tracing was enabled for the run.
+	Reqtrace *reqtrace.Stats
 }
 
 // svcState is one service's front-end state.
@@ -133,12 +150,31 @@ type Engine struct {
 	hourArrivals int64
 	hourFailed   int64
 	hourShed     int64
+
+	// Request tracing (nil when disabled — every trace call site below is
+	// nil-guarded, so the disabled hot path allocates nothing extra).
+	rec        *reqtrace.Recorder
+	traceGroup int     // per-serveOne group counter, part of the trace ID
+	detailBuf  []byte  // reused wire-encoding buffer
+	lastNode   string  // primary's node at the last latencyMs call
+	lastUtil   float64 // primary node utilization at the last latencyMs call
+
+	// Prometheus export: flush publishes an immutable snapshot under
+	// promMu; the registry's provider callback may read it from any
+	// goroutine serving /metrics.
+	promOn   bool
+	promMu   sync.Mutex
+	promSnap obs.HistogramSnapshot
 }
 
 // NewEngine builds an engine for the given cluster. The spec is
 // validated and its defaults resolved; store may be nil (no series are
-// recorded then).
-func NewEngine(clock *simclock.Clock, cluster *fabric.Cluster, spec *Spec, store *timeseries.Store, o *obs.Obs) (*Engine, error) {
+// recorded then). rec is the request-trace recorder to feed; pass nil
+// to let the engine build one from spec.Reqtrace (or run untraced when
+// that is nil too). The recorder's sampler is seeded from a dedicated
+// split of the traffic seed, so enabling tracing never perturbs the
+// arrival, error, or latency streams.
+func NewEngine(clock *simclock.Clock, cluster *fabric.Cluster, spec *Spec, store *timeseries.Store, o *obs.Obs, rec *reqtrace.Recorder) (*Engine, error) {
 	if spec == nil {
 		return nil, fmt.Errorf("traffic: nil spec")
 	}
@@ -147,7 +183,13 @@ func NewEngine(clock *simclock.Clock, cluster *fabric.Cluster, spec *Spec, store
 	}
 	resolved := spec.withDefaults()
 	root := rng.New(resolved.Seed)
-	return &Engine{
+	if rec == nil && resolved.Reqtrace != nil {
+		var err error
+		if rec, err = reqtrace.NewRecorder(resolved.Reqtrace); err != nil {
+			return nil, err
+		}
+	}
+	e := &Engine{
 		clock:      clock,
 		cluster:    cluster,
 		spec:       resolved,
@@ -159,7 +201,14 @@ func NewEngine(clock *simclock.Clock, cluster *fabric.Cluster, spec *Spec, store
 		tickEvery:  time.Duration(resolved.TickSeconds * float64(time.Second)),
 		svc:        make(map[string]*svcState),
 		anchors:    make(map[string]anchor),
-	}, nil
+		rec:        rec,
+	}
+	if rec != nil {
+		rec.Bind(resolved.Seed, root.Split("reqtrace"))
+		e.hourHist.enableExemplars()
+		e.runHist.enableExemplars()
+	}
+	return e, nil
 }
 
 // Start subscribes to the cluster's causal streams (anchor tracking,
@@ -190,6 +239,9 @@ func (e *Engine) Stop() {
 		e.flusher.Stop()
 		e.flusher = nil
 	}
+	if e.promOn {
+		e.promUpdate() // fold the final partial hour into /metrics
+	}
 }
 
 // Stats returns the plane's totals so far, with whole-run latency
@@ -206,8 +258,16 @@ func (e *Engine) Stats() Stats {
 		st.ErrorRate = float64(st.Failed) / float64(st.Arrivals)
 	}
 	st.SLOP99Ms = e.spec.SLOP99Ms
+	if e.rec != nil {
+		rs := e.rec.Stats()
+		st.Reqtrace = &rs
+	}
 	return st
 }
+
+// Recorder exposes the engine's trace recorder (nil when tracing is
+// off) so serving layers can query the kept-trace ring.
+func (e *Engine) Recorder() *reqtrace.Recorder { return e.rec }
 
 // onAnnotation tracks causal anchors, mirroring the alert engine. The
 // traffic plane's own annotations are not anchors (AnchorClass returns
@@ -299,6 +359,10 @@ func (e *Engine) serveOne(now time.Time, s *fabric.Service, shape float64) {
 		st = &svcState{br: NewBreaker(e.spec.Breaker)}
 		e.svc[s.Name] = st
 	}
+	// Trace group indices restart per (tick, service) so trace IDs —
+	// hashed over (seed, time, service, outcome, group) — stay unique.
+	e.traceGroup = 0
+	e.lastNode, e.lastUtil = "", 0
 
 	mean := e.spec.PerCoreRPS * s.TotalReservedCores() * shape * e.spec.TickSeconds
 	n := 0
@@ -329,6 +393,9 @@ func (e *Engine) serveOne(now time.Time, s *fabric.Service, shape float64) {
 		e.hourFailed += int64(shed)
 		aSeq, aKind := e.bestAnchor(now)
 		e.annotate(KindRequestShed, now, s.Name, float64(shed), float64(demand), "admission-overflow", aSeq, aKind)
+		if e.rec != nil {
+			e.traceFail(now, s.Name, reqtrace.OutcomeShed, int64(shed), 0, aSeq, aKind)
+		}
 	}
 	e.stats.Queued += int64(st.queued)
 	e.stats.Admitted += int64(take)
@@ -346,6 +413,10 @@ func (e *Engine) serveOne(now time.Time, s *fabric.Service, shape float64) {
 	if rejected > 0 {
 		e.stats.BreakerRejected += int64(rejected)
 		e.hourFailed += int64(rejected)
+		if e.rec != nil {
+			aSeq, aKind := e.bestAnchor(now)
+			e.traceFail(now, s.Name, reqtrace.OutcomeRejected, int64(rejected), 0, aSeq, aKind)
+		}
 	}
 
 	// Dispatch: the serving state is the fabric's error-surfacing hook —
@@ -411,6 +482,14 @@ func (e *Engine) serveOne(now time.Time, s *fabric.Service, shape float64) {
 		e.hourFailed += int64(errors)
 		aSeq, aKind := e.bestAnchor(now)
 		e.annotate(KindRequestErrors, now, s.Name, float64(errors), float64(pass), health.String(), aSeq, aKind)
+		if e.rec != nil {
+			// Retried-then-failed attempts belong to the error group.
+			failedRetries := retriable - saved
+			if failedRetries < 0 {
+				failedRetries = 0
+			}
+			e.traceError(now, s.Name, int64(errors), meanMs, failedRetries, aSeq, aKind)
+		}
 	}
 
 	// Feed first-attempt outcomes back to the breaker and journal its
@@ -449,9 +528,13 @@ func (e *Engine) serveOne(now time.Time, s *fabric.Service, shape float64) {
 	if fromQueue > okCount-saved {
 		fromQueue = okCount - saved
 	}
-	e.observe(saved, meanMs+e.backoffMs())
-	e.observe(fromQueue, meanMs+e.spec.TickSeconds*1000/2)
-	e.observe(okCount-saved-fromQueue, meanMs)
+	// backoffMs draws from the latency stream unconditionally — it must
+	// stay a single call here so enabling tracing never shifts the rng.
+	back := e.backoffMs()
+	queueMs := e.spec.TickSeconds * 1000 / 2
+	e.observe(now, s.Name, saved, meanMs+back, 0, back, 1)
+	e.observe(now, s.Name, fromQueue, meanMs+queueMs, queueMs, 0, 0)
+	e.observe(now, s.Name, okCount-saved-fromQueue, meanMs, 0, 0, 0)
 }
 
 // latencyMs models one tick's mean request latency for a service: batch-
@@ -474,6 +557,7 @@ func (e *Engine) latencyMs(s *fabric.Service, pass int) float64 {
 		}
 		coloc := 1 + colocLatencyFactor*float64(node.ReplicaCount()-1)
 		m = e.spec.OverheadMs/fill + e.spec.BaseLatencyMs/(1-util)*coloc
+		e.lastNode, e.lastUtil = node.ID, util
 	}
 	return m
 }
@@ -513,8 +597,11 @@ var latSpread = []struct{ cum, mult float64 }{
 	{1.00, 8.00},
 }
 
-// observe records count successful requests around mean ms.
-func (e *Engine) observe(count int, ms float64) {
+// observe records count successful requests around mean ms. queueMs and
+// backMs are the queue-wait and retry-backoff components already inside
+// ms; the tracer scales them with the spread multiplier so a trace's
+// spans sum exactly to its recorded latency.
+func (e *Engine) observe(now time.Time, svc string, count int, ms, queueMs, backMs float64, retries int) {
 	if count <= 0 {
 		return
 	}
@@ -525,13 +612,102 @@ func (e *Engine) observe(count int, ms float64) {
 			upto = int64(count)
 		}
 		if k := upto - assigned; k > 0 {
+			if e.rec != nil {
+				e.traceOK(now, svc, k, ms*qs.mult, queueMs*qs.mult, backMs*qs.mult, retries)
+			}
 			e.hourHist.add(ms*qs.mult, k)
 			assigned = upto
 		}
 	}
 	if k := int64(count) - assigned; k > 0 {
-		e.hourHist.add(ms*latSpread[len(latSpread)-1].mult, k)
+		mult := latSpread[len(latSpread)-1].mult
+		if e.rec != nil {
+			e.traceOK(now, svc, k, ms*mult, queueMs*mult, backMs*mult, retries)
+		}
+		e.hourHist.add(ms*mult, k)
 	}
+}
+
+// traceFail assembles and offers a failure trace (shed or breaker-
+// rejected group) to the sampler. Failures are always kept.
+func (e *Engine) traceFail(now time.Time, svc string, outcome reqtrace.Outcome, count int64, latMs float64, aSeq uint64, aKind fabric.CauseKind) {
+	tr := e.rec.Begin(now.UnixNano(), svc)
+	tr.Add(reqtrace.SpanArrival, 0, 0)
+	tr.Add(reqtrace.SpanAdmission, 0, 0)
+	if outcome == reqtrace.OutcomeRejected {
+		tr.Add(reqtrace.SpanBreaker, 0, 0)
+		tr.Add(reqtrace.SpanReject, 0, 0)
+	} else {
+		tr.Add(reqtrace.SpanShed, 0, 0)
+	}
+	group := e.traceGroup
+	e.traceGroup++
+	if kept, ok := e.rec.Finish(outcome, count, latMs, 0, group, false); ok {
+		e.emitTrace(now, svc, kept, aSeq, aKind)
+	}
+}
+
+// traceError assembles the trace for a group of dispatched requests
+// that finally failed; retried reports how many of them burned a retry.
+func (e *Engine) traceError(now time.Time, svc string, count int64, meanMs float64, retried int, aSeq uint64, aKind fabric.CauseKind) {
+	tr := e.rec.Begin(now.UnixNano(), svc)
+	tr.Add(reqtrace.SpanArrival, 0, 0)
+	tr.Add(reqtrace.SpanAdmission, 0, 0)
+	tr.Add(reqtrace.SpanBreaker, 0, 0)
+	tr.AddDispatch(0, meanMs, e.lastNode, e.lastUtil)
+	tr.Add(reqtrace.SpanError, meanMs, 0)
+	retries := 0
+	if retried > 0 {
+		retries = 1
+	}
+	group := e.traceGroup
+	e.traceGroup++
+	if kept, ok := e.rec.Finish(reqtrace.OutcomeError, count, meanMs, retries, group, false); ok {
+		e.emitTrace(now, svc, kept, aSeq, aKind)
+	}
+}
+
+// traceOK assembles a success trace for one latency-spread cell. The
+// first trace into an empty histogram bucket is always kept as that
+// bucket's exemplar; otherwise the deterministic 1-in-N sampler rules.
+func (e *Engine) traceOK(now time.Time, svc string, count int64, v, queueMs, backMs float64, retries int) {
+	bucketFirst := e.hourHist.needsExemplar(v)
+	tr := e.rec.Begin(now.UnixNano(), svc)
+	tr.Add(reqtrace.SpanArrival, 0, 0)
+	off := 0.0
+	if queueMs > 0 {
+		tr.Add(reqtrace.SpanQueueWait, 0, queueMs)
+		off = queueMs
+	}
+	tr.Add(reqtrace.SpanAdmission, off, 0)
+	tr.Add(reqtrace.SpanBreaker, off, 0)
+	svcMs := v - queueMs - backMs
+	if svcMs < 0 {
+		svcMs = 0
+	}
+	if backMs > 0 {
+		// A rescued retry: the first attempt's failure is folded into the
+		// backoff wait, then the successful attempt dispatches.
+		tr.Add(reqtrace.SpanBackoff, off, backMs)
+		off += backMs
+	}
+	tr.AddDispatch(off, svcMs, e.lastNode, e.lastUtil)
+	tr.Add(reqtrace.SpanComplete, v, 0)
+	group := e.traceGroup
+	e.traceGroup++
+	if kept, ok := e.rec.Finish(reqtrace.OutcomeOK, count, v, retries, group, bucketFirst); ok {
+		e.hourHist.setExemplar(v, kept.ID)
+		aSeq, aKind := e.bestAnchor(now)
+		e.emitTrace(now, svc, kept, aSeq, aKind)
+	}
+}
+
+// emitTrace journals one kept trace inside the causal bracket of the
+// incident that explains it, reusing the engine's encode buffer so a
+// kept trace costs one allocation (the Detail string).
+func (e *Engine) emitTrace(now time.Time, svc string, tr *reqtrace.Trace, aSeq uint64, aKind fabric.CauseKind) {
+	e.detailBuf = reqtrace.AppendDetail(e.detailBuf[:0], tr)
+	e.annotate(KindRequestTrace, now, svc, float64(tr.Count), tr.LatencyMs, string(e.detailBuf), aSeq, aKind)
 }
 
 // flush closes one observation hour: latency quantiles and rates go to
@@ -555,10 +731,84 @@ func (e *Engine) flush(now time.Time) {
 		e.store.Series(SeriesShed).Push(float64(e.hourShed))
 	}
 	e.stats.HoursObserved++
-	if e.hourHist.total > 0 && p99 > e.spec.SLOP99Ms {
+	violation := e.hourHist.total > 0 && p99 > e.spec.SLOP99Ms
+	if violation {
 		e.stats.SLOViolationHours++
 	}
+	if e.rec != nil {
+		e.traceHour(now, p99, violation)
+	}
+	e.runHist.mergeExemplars(&e.hourHist)
 	e.runHist.merge(&e.hourHist)
 	e.hourHist.reset()
 	e.hourArrivals, e.hourFailed, e.hourShed = 0, 0, 0
+	if e.promOn {
+		e.promUpdate()
+	}
+}
+
+// traceHour closes one observation hour in the journal: its p99 verdict
+// and the p99 bucket's exemplar trace ID, so analysis tools join SLO
+// violations to a concrete kept trace without re-deriving bucket math.
+func (e *Engine) traceHour(now time.Time, p99 float64, violation bool) {
+	b := e.hourHist.quantileBucket(0.99)
+	exID := "missing"
+	if ex := e.hourHist.exemplarAt(b); ex.id != 0 {
+		exID = reqtrace.IDString(ex.id)
+	}
+	v := 0
+	if violation {
+		v = 1
+	}
+	detail := fmt.Sprintf("p99-bucket=%d exemplar=%s violation=%d samples=%d", b, exID, v, e.hourHist.total)
+	aSeq, aKind := uint64(0), fabric.CauseNone
+	if violation {
+		aSeq, aKind = e.bestAnchor(now)
+	}
+	e.annotate(KindTraceHour, now, "", p99, e.spec.SLOP99Ms, detail, aSeq, aKind)
+}
+
+// RegisterProm exports the engine's latency histogram on reg under
+// PromHistogramName as a proper cumulative-bucket Prometheus histogram,
+// carrying bucket exemplars when request tracing is enabled. Idempotent.
+func (e *Engine) RegisterProm(reg *obs.Registry) {
+	if reg == nil || e.promOn {
+		return
+	}
+	e.promOn = true
+	e.promUpdate()
+	reg.RegisterHistogramProvider(PromHistogramName, e.promHistogram)
+}
+
+// promUpdate publishes the run+hour histogram as an immutable snapshot;
+// flush calls it hourly so /metrics tracks the run without touching the
+// hot path.
+func (e *Engine) promUpdate() {
+	comb := e.runHist
+	comb.merge(&e.hourHist)
+	snap := obs.HistogramSnapshot{Count: comb.total, Sum: comb.sum}
+	for i := 0; i < histBuckets; i++ {
+		n := comb.counts[i]
+		if n == 0 {
+			continue
+		}
+		bc := obs.BucketCount{Le: BucketBound(i), Count: n}
+		ex := e.runHist.exemplarAt(i)
+		if ex.id == 0 {
+			ex = e.hourHist.exemplarAt(i)
+		}
+		if ex.id != 0 {
+			bc.Exemplar = &obs.Exemplar{TraceID: reqtrace.IDString(ex.id), Value: ex.ms}
+		}
+		snap.Buckets = append(snap.Buckets, bc)
+	}
+	e.promMu.Lock()
+	e.promSnap = snap
+	e.promMu.Unlock()
+}
+
+func (e *Engine) promHistogram() obs.HistogramSnapshot {
+	e.promMu.Lock()
+	defer e.promMu.Unlock()
+	return e.promSnap
 }

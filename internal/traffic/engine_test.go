@@ -71,7 +71,7 @@ func runTrafficDay(tb testing.TB, spec traffic.Spec, w *journal.Writer, outage b
 		}
 	})
 
-	eng, err := traffic.NewEngine(clock, c, &spec, nil, obs.New(obs.Options{}))
+	eng, err := traffic.NewEngine(clock, c, &spec, nil, obs.New(obs.Options{}), nil)
 	if err != nil {
 		tb.Fatalf("NewEngine: %v", err)
 	}

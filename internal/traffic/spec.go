@@ -21,6 +21,8 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+
+	"toto/internal/obs/reqtrace"
 )
 
 // BreakerSpec configures the per-service circuit breakers.
@@ -110,6 +112,10 @@ type Spec struct {
 	// SLOP99Ms is the hourly p99 latency SLO scored next to revenue.
 	// Default 250.
 	SLOP99Ms float64 `json:"sloP99Ms,omitempty"`
+	// Reqtrace enables per-request tracing with tail-based sampling.
+	// Nil (the default) keeps the plane entirely untraced: zero extra
+	// allocations on the hot path and byte-identical journals.
+	Reqtrace *reqtrace.Spec `json:"reqtrace,omitempty"`
 }
 
 // ParseSpec decodes and validates a JSON spec, rejecting unknown fields
@@ -163,6 +169,9 @@ func (s *Spec) Validate() error {
 	}
 	if r.Jitter < 0 || r.Jitter > 1 {
 		return fail("retry jitter %v outside [0, 1]", r.Jitter)
+	}
+	if err := s.Reqtrace.Validate(); err != nil {
+		return err
 	}
 	return nil
 }
