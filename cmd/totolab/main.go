@@ -128,6 +128,9 @@ func main() {
 			trafficCols := ""
 			if st := r.Traffic; st != nil {
 				trafficCols = fmt.Sprintf("p99=%-6.0fms errRate=%-7.4f ", st.P99Ms, st.ErrorRate)
+				if st.Hedges > 0 || st.HedgesDenied > 0 {
+					trafficCols += fmt.Sprintf("hedges=%-5d ", st.Hedges)
+				}
 			}
 			fmt.Printf("  %-9s creates=%-4d drops=%-4d failovers=%-3d movedCores=%-7.1f adjusted=$%-10.0f %s%6.2fs  fp=%s\n",
 				rr.Spec.Name, r.Creates, r.Drops, r.UnplannedFailovers,

@@ -250,8 +250,8 @@ func runReport(args []string) error {
 func printTraffic(w *os.File, entries []journal.Entry) {
 	idx := journal.Index(entries)
 	type agg struct {
-		shed, errors, denied float64
-		opens                int
+		shed, errors, denied, hedges float64
+		opens, quarantines           int
 	}
 	byCause := map[string]*agg{}
 	get := func(root string) *agg {
@@ -262,8 +262,8 @@ func printTraffic(w *os.File, entries []journal.Entry) {
 		}
 		return a
 	}
-	var totalShed, totalErrors float64
-	var opens, closes int
+	var totalShed, totalErrors, totalHedges float64
+	var opens, closes, quarantines int
 	var unknownErrors float64
 	for i := range entries {
 		e := &entries[i]
@@ -289,14 +289,21 @@ func printTraffic(w *os.File, entries []journal.Entry) {
 			opens++
 		case traffic.KindBreakerClosed:
 			closes++
+		case traffic.KindRequestHedged:
+			root := journal.RootCause(idx, e)
+			get(root).hedges += e.Value
+			totalHedges += e.Value
+		case "slow-node-quarantined":
+			get(journal.RootCause(idx, e)).quarantines++
+			quarantines++
 		}
 	}
 	if len(byCause) == 0 {
 		return
 	}
-	fmt.Fprintf(w, "\nrequest-plane failures by root cause (%.0f shed, %.0f errors, %d breaker opens / %d closes):\n",
-		totalShed, totalErrors, opens, closes)
-	fmt.Fprintf(w, "  %-10s %12s %12s %14s %9s\n", "cause", "shed", "errors", "retries denied", "opens")
+	fmt.Fprintf(w, "\nrequest-plane failures by root cause (%.0f shed, %.0f errors, %d breaker opens / %d closes, %.0f hedges, %d slow-node quarantines):\n",
+		totalShed, totalErrors, opens, closes, totalHedges, quarantines)
+	fmt.Fprintf(w, "  %-10s %12s %12s %14s %9s %10s %12s\n", "cause", "shed", "errors", "retries denied", "opens", "hedges", "quarantines")
 	causes := make([]string, 0, len(byCause))
 	for c := range byCause {
 		causes = append(causes, c)
@@ -310,7 +317,8 @@ func printTraffic(w *os.File, entries []journal.Entry) {
 	})
 	for _, cause := range causes {
 		a := byCause[cause]
-		fmt.Fprintf(w, "  %-10s %12.0f %12.0f %14.0f %9d\n", cause, a.shed, a.errors, a.denied, a.opens)
+		fmt.Fprintf(w, "  %-10s %12.0f %12.0f %14.0f %9d %10.0f %12d\n",
+			cause, a.shed, a.errors, a.denied, a.opens, a.hedges, a.quarantines)
 	}
 	if unknownErrors > 0 {
 		fmt.Fprintf(w, "  WARNING: %.0f request errors with unknown root cause\n", unknownErrors)

@@ -337,11 +337,19 @@ func main() {
 			st.Retries, st.RetriesDenied, st.Errors, st.ErrorRate)
 		fmt.Printf("traffic: latency p50 %.1fms p99 %.1fms p999 %.1fms, %d/%d hours over the %gms p99 SLO\n",
 			st.P50Ms, st.P99Ms, st.P999Ms, st.SLOViolationHours, st.HoursObserved, st.SLOP99Ms)
+		if st.Hedges > 0 || st.HedgesDenied > 0 {
+			fmt.Printf("hedges: %d granted (%d won the race), %d denied by the hedge budget\n",
+				st.Hedges, st.HedgeWins, st.HedgesDenied)
+		}
 		if rt := st.Reqtrace; rt != nil {
 			fmt.Printf("reqtrace: %d trace groups, %d kept (%d failures, %d exemplars, %d sampled), %d dropped\n",
 				rt.Considered, rt.Kept, rt.KeptErrors+rt.KeptSheds+rt.KeptRejected,
 				rt.KeptExemplar, rt.KeptSampled, rt.Dropped)
 		}
+	}
+	if sn := res.SlowNodes; sn != nil {
+		fmt.Printf("slow-nodes: %d detections, %d quarantines, %d drain moves, %d recoveries\n",
+			sn.Detections, sn.Quarantines, sn.DrainMoves, sn.Recoveries)
 	}
 
 	if *outDir == "" {

@@ -35,6 +35,7 @@ const (
 	KindBuildSlowdown = "build-slowdown" // replica builds take Factor times longer for DurationHours
 	KindReportLoss    = "report-loss"    // load reports are dropped with probability Rate for DurationHours
 	KindNamingErrors  = "naming-errors"  // naming write attempts fail with probability Rate for DurationHours
+	KindFailSlow      = "fail-slow"      // gray failure: nodes serve at up to Factor× latency through an onset/plateau/recovery window
 )
 
 // Spec is the JSON-configurable fault schedule. Times are relative to
@@ -79,8 +80,20 @@ type Fault struct {
 	Domains int `json:"domains,omitempty"`
 	// Rate is the per-operation failure probability in (0, 1].
 	Rate float64 `json:"rate,omitempty"`
-	// Factor is the build-slowdown multiplier (> 1).
+	// Factor is the build-slowdown (or fail-slow service-latency)
+	// multiplier (> 1).
 	Factor float64 `json:"factor,omitempty"`
+	// OnsetHours is a fail-slow fault's ramp-up: the multiplier climbs
+	// linearly from 1 to Factor over this window (0 = instant onset).
+	OnsetHours float64 `json:"onsetHours,omitempty"`
+	// RecoveryHours is the symmetric ramp-down after the plateau
+	// (0 = instant recovery).
+	RecoveryHours float64 `json:"recoveryHours,omitempty"`
+	// CorrelateDomain makes a fail-slow fault hit a whole fault domain at
+	// once — one seed node is picked (Node or random) and every up node
+	// sharing its FaultDomain slows together, the gray-failure analogue of
+	// a domain outage. Requires a topology-enabled cluster.
+	CorrelateDomain bool `json:"correlateDomain,omitempty"`
 }
 
 // ParseSpec decodes and validates a JSON spec, rejecting unknown fields
@@ -99,20 +112,43 @@ func ParseSpec(data []byte) (*Spec, error) {
 	return &s, nil
 }
 
-// Validate checks every fault for the fields its kind requires.
+// Validate checks every fault for the fields its kind requires. Field
+// checks fall in two tiers: a generic pass rejecting any negative (or
+// otherwise out-of-domain) value by its JSON field name — so a bad knob
+// fails loudly even on a kind that would silently ignore it — followed
+// by per-kind requirements.
 func (s *Spec) Validate() error {
 	for i, f := range s.Faults {
 		fail := func(format string, args ...any) error {
 			return fmt.Errorf("chaos: fault %d (%s): %s", i, f.Kind, fmt.Sprintf(format, args...))
 		}
-		if f.AtHours < 0 {
+		switch {
+		case f.AtHours < 0:
 			return fail("negative atHours %v", f.AtHours)
+		case f.DurationHours < 0:
+			return fail("negative durationHours %v", f.DurationHours)
+		case f.DownMinutes < 0:
+			return fail("negative downMinutes %v", f.DownMinutes)
+		case f.UpMinutes < 0:
+			return fail("negative upMinutes %v", f.UpMinutes)
+		case f.Count < 0:
+			return fail("negative count %d", f.Count)
+		case f.Domain < 0:
+			return fail("negative domain %d", f.Domain)
+		case f.Domains < 0:
+			return fail("negative domains %d", f.Domains)
+		case f.Rate < 0:
+			return fail("negative rate %v", f.Rate)
+		case f.Factor < 0:
+			return fail("negative factor %v", f.Factor)
+		case f.OnsetHours < 0:
+			return fail("negative onsetHours %v", f.OnsetHours)
+		case f.RecoveryHours < 0:
+			return fail("negative recoveryHours %v", f.RecoveryHours)
 		}
 		switch f.Kind {
 		case KindNodeCrash:
-			if f.DownMinutes < 0 {
-				return fail("negative downMinutes")
-			}
+			// Generic pass covers the fields; DownMinutes 0 = never restart.
 		case KindNodeFlap:
 			if f.Count < 1 {
 				return fail("flap needs count >= 1")
@@ -127,11 +163,8 @@ func (s *Spec) Validate() error {
 			if f.Domains != 0 && f.Domains < 2 {
 				return fail("domain outage needs domains >= 2 (or omitted for topology mode)")
 			}
-			if f.Domain < 0 || (f.Domains != 0 && f.Domain >= f.Domains) {
+			if f.Domains != 0 && f.Domain >= f.Domains {
 				return fail("domain %d out of range [0, %d)", f.Domain, f.Domains)
-			}
-			if f.DownMinutes < 0 {
-				return fail("negative downMinutes")
 			}
 		case KindBuildFailures, KindReportLoss, KindNamingErrors:
 			if f.Rate <= 0 || f.Rate > 1 {
@@ -146,6 +179,16 @@ func (s *Spec) Validate() error {
 			}
 			if f.DurationHours <= 0 {
 				return fail("slowdown needs positive durationHours")
+			}
+		case KindFailSlow:
+			if f.Factor <= 1 || f.Factor > 100 {
+				return fail("fail-slow factor %v outside (1, 100]", f.Factor)
+			}
+			if f.DurationHours <= 0 {
+				return fail("fail-slow needs positive durationHours (the plateau)")
+			}
+			if f.CorrelateDomain && f.Count > 1 {
+				return fail("correlateDomain picks the whole fault domain; count %d conflicts", f.Count)
 			}
 		default:
 			return fail("unknown fault kind")
@@ -162,6 +205,7 @@ type Stats struct {
 	Restarts              int
 	CrashesSkipped        int // guarded: too few up nodes to crash another
 	DomainOutages         int
+	SlowNodesInjected     int // nodes placed under a fail-slow latency window
 	BuildFailuresInjected int
 	ReportsLostInjected   int
 	NamingErrorsInjected  int
@@ -179,18 +223,24 @@ type Engine struct {
 	o       *obs.Obs
 
 	// One independent stream per fault channel: the schedule's node
-	// picks, build failures, report losses, and naming errors never
-	// contend for the same randomness.
+	// picks, build failures, report losses, naming errors, and fail-slow
+	// target picks never contend for the same randomness.
 	scheduleRnd *rng.Source
 	buildRnd    *rng.Source
 	reportRnd   *rng.Source
 	namingRnd   *rng.Source
+	slowRnd     *rng.Source
 
 	// Active rate windows (0 / 1 when inactive).
 	buildFailRate   float64
 	buildSlowFactor float64
 	reportLossRate  float64
 	namingFailRate  float64
+
+	// slowNodes maps a node ID to its active fail-slow latency window;
+	// nil/empty whenever no fail-slow fault is live, so SlowFactor is a
+	// single length check on the unconfigured path.
+	slowNodes map[string]*slowWindow
 
 	checker *fabric.InvariantChecker
 	stats   Stats
@@ -204,8 +254,12 @@ func NewEngine(clock *simclock.Clock, cluster *fabric.Cluster, spec *Spec, o *ob
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
-	// Topology-mode domain outages need the cluster's real coordinates.
+	// Topology-mode domain outages (and domain-correlated fail-slow
+	// faults) need the cluster's real coordinates.
 	for i, f := range spec.Faults {
+		if f.Kind == KindFailSlow && f.CorrelateDomain && !cluster.TopologyEnabled() {
+			return nil, fmt.Errorf("chaos: fault %d (%s): correlateDomain requires a cluster with configured fault domains", i, f.Kind)
+		}
 		if f.Kind != KindDomainOutage || f.Domains != 0 {
 			continue
 		}
@@ -227,6 +281,7 @@ func NewEngine(clock *simclock.Clock, cluster *fabric.Cluster, spec *Spec, o *ob
 		buildRnd:    root.Split("build"),
 		reportRnd:   root.Split("report"),
 		namingRnd:   root.Split("naming"),
+		slowRnd:     root.Split("failslow"),
 	}, nil
 }
 
@@ -264,6 +319,7 @@ func (e *Engine) Stop() {
 	e.cluster.SetFaultInjector(nil)
 	e.cluster.DisableDegradedMode()
 	e.buildFailRate, e.buildSlowFactor, e.reportLossRate, e.namingFailRate = 0, 0, 0, 0
+	e.slowNodes = nil
 }
 
 // Stats returns what the schedule injected so far, with the invariant
@@ -332,6 +388,10 @@ func (e *Engine) scheduleFault(from time.Time, f Fault) {
 			} else {
 				e.namingFailRate = 0
 			}
+		})
+	case KindFailSlow:
+		e.clock.At(at, func(now time.Time) {
+			e.failSlow(now, f)
 		})
 	}
 }
@@ -523,6 +583,158 @@ func (e *Engine) domainOutage(now time.Time, domain, domains int, down time.Dura
 			}
 		})
 	}
+}
+
+// slowWindow is one node's active fail-slow latency profile: a linear
+// onset ramp from 1 to factor, a plateau, and a linear recovery ramp
+// back to 1. Everything is a pure function of sim time, so SlowFactor
+// consumes no randomness and two runs agree bit for bit.
+type slowWindow struct {
+	start            time.Time
+	onset, hold, rec time.Duration
+	factor           float64
+}
+
+// factorAt evaluates the piecewise-linear multiplier at now.
+func (w *slowWindow) factorAt(now time.Time) float64 {
+	d := now.Sub(w.start)
+	if d < 0 {
+		return 1
+	}
+	if d < w.onset {
+		return 1 + (w.factor-1)*float64(d)/float64(w.onset)
+	}
+	d -= w.onset
+	if d < w.hold {
+		return w.factor
+	}
+	d -= w.hold
+	if d < w.rec {
+		return w.factor - (w.factor-1)*float64(d)/float64(w.rec)
+	}
+	return 1
+}
+
+// SlowFactor reports the service-latency multiplier the fail-slow layer
+// imposes on node at now: 1 whenever the node is healthy or no fail-slow
+// fault is live. The traffic plane multiplies its modeled per-node
+// service time by this — the injection side of the gray-failure loop the
+// fabric's slow-node detector closes.
+func (e *Engine) SlowFactor(node string, now time.Time) float64 {
+	if len(e.slowNodes) == 0 {
+		return 1
+	}
+	w := e.slowNodes[node]
+	if w == nil {
+		return 1
+	}
+	return w.factorAt(now)
+}
+
+// slowTargets resolves a fail-slow fault's victim set. Named node → that
+// node; correlateDomain → every up node sharing the seed node's fault
+// domain; otherwise Count (default 1) distinct random up nodes. All
+// random picks draw from the dedicated failslow stream so scheduling a
+// fail-slow fault never perturbs which node a crash picks.
+func (e *Engine) slowTargets(f Fault) []*fabric.Node {
+	nodes := e.cluster.Nodes()
+	up := make([]*fabric.Node, 0, len(nodes))
+	for _, n := range nodes {
+		if n.Up() {
+			up = append(up, n)
+		}
+	}
+	seed := func() *fabric.Node {
+		if f.Node != "" {
+			for _, n := range up {
+				if n.ID == f.Node {
+					return n
+				}
+			}
+			return nil
+		}
+		if len(up) == 0 {
+			return nil
+		}
+		return up[e.slowRnd.Intn(len(up))]
+	}
+	if f.CorrelateDomain {
+		s := seed()
+		if s == nil {
+			return nil
+		}
+		var out []*fabric.Node
+		for _, n := range up {
+			if n.FaultDomain == s.FaultDomain {
+				out = append(out, n)
+			}
+		}
+		return out
+	}
+	if f.Node != "" {
+		s := seed()
+		if s == nil {
+			return nil
+		}
+		return []*fabric.Node{s}
+	}
+	count := f.Count
+	if count < 1 {
+		count = 1
+	}
+	if count > len(up) {
+		count = len(up)
+	}
+	out := make([]*fabric.Node, 0, count)
+	for i := 0; i < count; i++ {
+		j := e.slowRnd.Intn(len(up))
+		out = append(out, up[j])
+		up[j] = up[len(up)-1]
+		up = up[:len(up)-1]
+	}
+	return out
+}
+
+// failSlow opens a fail-slow window over the fault's victim set. Like a
+// domain outage, one chaos-injection annotation covers every slowed node
+// so detection, quarantine, and hedge bursts downstream all chain to the
+// same root. The window tears itself down when the recovery ramp ends.
+func (e *Engine) failSlow(now time.Time, f Fault) {
+	targets := e.slowTargets(f)
+	if len(targets) == 0 {
+		e.o.Instant("chaos.failslow_skipped", obs.Str("node", f.Node))
+		return
+	}
+	detail := targets[0].ID
+	if f.CorrelateDomain {
+		detail = fmt.Sprintf("fault-domain-%d", targets[0].FaultDomain)
+	} else if len(targets) > 1 {
+		detail = fmt.Sprintf("%d-nodes", len(targets))
+	}
+	seq, restore := e.inject(KindFailSlow, detail)
+	restore()
+	onset, hold, rec := hours(f.OnsetHours), hours(f.DurationHours), hours(f.RecoveryHours)
+	if e.slowNodes == nil {
+		e.slowNodes = make(map[string]*slowWindow)
+	}
+	ids := make([]string, len(targets))
+	for i, n := range targets {
+		e.slowNodes[n.ID] = &slowWindow{start: now, onset: onset, hold: hold, rec: rec, factor: f.Factor}
+		e.cluster.NoteSlowNodeAnchor(n.ID, seq)
+		e.stats.SlowNodesInjected++
+		ids[i] = n.ID
+	}
+	e.o.Instant("chaos.fail_slow",
+		obs.Int("nodes", len(targets)),
+		obs.Float("factor", f.Factor),
+		obs.Str("detail", detail),
+	)
+	e.clock.At(now.Add(onset+hold+rec), func(time.Time) {
+		for _, id := range ids {
+			delete(e.slowNodes, id)
+		}
+		e.o.Instant("chaos.fail_slow_over", obs.Int("nodes", len(ids)))
+	})
 }
 
 // --- fabric.FaultInjector ---

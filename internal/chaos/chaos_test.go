@@ -54,6 +54,12 @@ func TestValidateRejectsBadFaults(t *testing.T) {
 		{"rate no window", Fault{Kind: KindNamingErrors, Rate: 0.5}, "durationHours"},
 		{"slowdown factor", Fault{Kind: KindBuildSlowdown, Factor: 0.5, DurationHours: 1}, "exceed 1"},
 		{"slowdown no window", Fault{Kind: KindBuildSlowdown, Factor: 2}, "durationHours"},
+		{"negative onset", Fault{Kind: KindFailSlow, Factor: 3, DurationHours: 1, OnsetHours: -1}, "negative onsetHours"},
+		{"negative recovery", Fault{Kind: KindFailSlow, Factor: 3, DurationHours: 1, RecoveryHours: -0.5}, "negative recoveryHours"},
+		{"fail-slow factor low", Fault{Kind: KindFailSlow, Factor: 1, DurationHours: 1}, "outside (1, 100]"},
+		{"fail-slow factor high", Fault{Kind: KindFailSlow, Factor: 101, DurationHours: 1}, "outside (1, 100]"},
+		{"fail-slow no plateau", Fault{Kind: KindFailSlow, Factor: 3}, "durationHours"},
+		{"fail-slow correlate+count", Fault{Kind: KindFailSlow, Factor: 3, DurationHours: 1, CorrelateDomain: true, Count: 2}, "conflicts"},
 	}
 	for _, tc := range cases {
 		s := &Spec{Faults: []Fault{tc.fault}}
@@ -321,5 +327,120 @@ func TestTopologyDomainOutageRequiresTopology(t *testing.T) {
 	bad := &Spec{Faults: []Fault{{Kind: KindDomainOutage, AtHours: 1, Domain: 3}}}
 	if _, err := NewEngine(clock, ct, bad, nil); err == nil || !strings.Contains(err.Error(), "out of range") {
 		t.Errorf("topology-mode fault with domain beyond the cluster's domains: err=%v", err)
+	}
+}
+
+// TestFailSlowWindowPhases pins the piecewise-linear latency profile: a
+// 3× fail-slow with a 1h onset, 2h plateau, and 1h recovery must ramp,
+// hold, ramp back, and tear itself down — all as a pure function of sim
+// time, consuming no randomness after the target pick.
+func TestFailSlowWindowPhases(t *testing.T) {
+	clock := simclock.New(testStart)
+	c := fabric.NewCluster(clock, 4, testCapacity(), fabric.DefaultConfig())
+	spec := &Spec{Seed: 5, Faults: []Fault{{
+		Kind: KindFailSlow, Node: "node-1", AtHours: 1,
+		OnsetHours: 1, DurationHours: 2, RecoveryHours: 1, Factor: 3,
+	}}}
+	eng, err := NewEngine(clock, c, spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Start(testStart)
+
+	at := func(h float64) float64 {
+		clock.RunUntil(testStart.Add(time.Duration(h * float64(time.Hour))))
+		return eng.SlowFactor("node-1", clock.Now())
+	}
+	close := func(got, want float64) bool { return got > want-1e-9 && got < want+1e-9 }
+	if f := at(0.5); !close(f, 1) {
+		t.Errorf("before injection: factor %v, want 1", f)
+	}
+	if f := at(1.5); !close(f, 2) { // halfway up the onset ramp: 1 + 2×0.5
+		t.Errorf("mid-onset: factor %v, want 2", f)
+	}
+	if f := at(3); !close(f, 3) { // plateau
+		t.Errorf("plateau: factor %v, want 3", f)
+	}
+	if f := at(4.5); !close(f, 2) { // halfway down the recovery ramp
+		t.Errorf("mid-recovery: factor %v, want 2", f)
+	}
+	if f := at(5.25); !close(f, 1) { // window torn down
+		t.Errorf("after recovery: factor %v, want 1", f)
+	}
+	if f := eng.SlowFactor("node-0", testStart.Add(3*time.Hour)); !close(f, 1) {
+		t.Errorf("untargeted node slowed: factor %v", f)
+	}
+	if s := eng.Stats(); s.SlowNodesInjected != 1 || s.Crashes != 0 {
+		t.Errorf("stats %+v, want exactly 1 slow node and no crashes", s)
+	}
+}
+
+// TestFailSlowLeavesEventStreamUntouched: a fail-slow fault draws only
+// from its dedicated rng stream and emits no fabric events, so adding
+// one to a schedule must leave the fabric event stream byte-identical —
+// the isolation property that keeps the golden chaos hash safe.
+func TestFailSlowLeavesEventStreamUntouched(t *testing.T) {
+	base := fullSpec(11)
+	h1, _ := chaosRun(t, base)
+	withSlow := fullSpec(11)
+	withSlow.Faults = append(withSlow.Faults, Fault{
+		Kind: KindFailSlow, AtHours: 3, Count: 2,
+		OnsetHours: 0.5, DurationHours: 6, RecoveryHours: 0.5, Factor: 4,
+	})
+	h2, s2 := chaosRun(t, withSlow)
+	if h1 != h2 {
+		t.Fatalf("fail-slow fault perturbed the fabric event stream: %s vs %s", h1, h2)
+	}
+	if s2.SlowNodesInjected != 2 {
+		t.Errorf("SlowNodesInjected = %d, want 2", s2.SlowNodesInjected)
+	}
+	// And the schedule itself is deterministic.
+	h3, s3 := chaosRun(t, withSlow)
+	if h2 != h3 || s2.SlowNodesInjected != s3.SlowNodesInjected {
+		t.Error("fail-slow runs diverged under the same seed")
+	}
+}
+
+// TestFailSlowCorrelateDomain: with correlateDomain every up node in the
+// seed node's fault domain slows together, and the fault is refused
+// outright on a topology-free cluster.
+func TestFailSlowCorrelateDomain(t *testing.T) {
+	clock := simclock.New(testStart)
+	plain := fabric.NewCluster(clock, 6, testCapacity(), fabric.DefaultConfig())
+	spec := &Spec{Seed: 9, Faults: []Fault{{
+		Kind: KindFailSlow, AtHours: 1, DurationHours: 2, Factor: 2, CorrelateDomain: true,
+	}}}
+	if _, err := NewEngine(clock, plain, spec, nil); err == nil || !strings.Contains(err.Error(), "correlateDomain") {
+		t.Errorf("correlateDomain on a topology-free cluster: err=%v", err)
+	}
+
+	cfg := fabric.DefaultConfig()
+	cfg.FaultDomains = 3
+	c := fabric.NewCluster(clock, 6, testCapacity(), cfg)
+	eng, err := NewEngine(clock, c, spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Start(testStart)
+	clock.RunUntil(testStart.Add(2 * time.Hour))
+	now := clock.Now()
+	slowed := 0
+	var domain = -1
+	for _, n := range c.Nodes() {
+		if eng.SlowFactor(n.ID, now) > 1 {
+			slowed++
+			if domain == -1 {
+				domain = n.FaultDomain
+			} else if n.FaultDomain != domain {
+				t.Errorf("slow nodes span fault domains %d and %d", domain, n.FaultDomain)
+			}
+		}
+	}
+	// 6 nodes striped over 3 domains: the whole domain is 2 nodes.
+	if slowed != 2 {
+		t.Errorf("slowed %d nodes, want the full 2-node fault domain", slowed)
+	}
+	if s := eng.Stats(); s.SlowNodesInjected != 2 {
+		t.Errorf("SlowNodesInjected = %d, want 2", s.SlowNodesInjected)
 	}
 }

@@ -92,6 +92,10 @@ type Result struct {
 	// Chaos summarizes the injected fault schedule and the continuous
 	// invariant checker's verdict (nil for runs without a chaos spec).
 	Chaos *chaos.Stats
+	// SlowNodes summarizes the fabric's gray-failure detector — slow-node
+	// detections, probationary quarantines, drain moves, and recoveries
+	// (nil for runs without SlowNodeDetection).
+	SlowNodes *fabric.SlowNodeStats
 	// Traffic summarizes the request-level traffic plane — arrivals,
 	// sheds, breaker activity, retries, tail-latency quantiles, and the
 	// hourly p99 SLO verdict (nil for runs without a traffic spec).
@@ -210,6 +214,13 @@ func Run(s *Scenario) (*Result, error) {
 			return nil, err
 		}
 		trafficEng.RegisterProm(s.Obs.Registry())
+		if chaosEng != nil {
+			// Chaos fail-slow windows become the traffic plane's node
+			// latency multipliers — the signal the slow-node detector
+			// and hedging react to. Healthy nodes report factor 1, so
+			// this is inert for schedules without fail-slow faults.
+			trafficEng.SetSlowFactor(chaosEng.SlowFactor)
+		}
 		trafficEng.Start(measureStart)
 	}
 	o.Clock.RunUntil(measureStart.Add(s.Duration))
@@ -282,6 +293,14 @@ func Run(s *Scenario) (*Result, error) {
 		st := chaosEng.Stats()
 		res.Chaos = &st
 	}
+	if o.Cluster.SlowNodeDetectionEnabled() {
+		st := o.Cluster.SlowNodeStats()
+		res.SlowNodes = &st
+		s.Obs.Gauge("fabric.slow_node_detections").Set(float64(st.Detections))
+		s.Obs.Gauge("fabric.slow_node_quarantines").Set(float64(st.Quarantines))
+		s.Obs.Gauge("fabric.slow_node_drain_moves").Set(float64(st.DrainMoves))
+		s.Obs.Gauge("fabric.slow_node_recoveries").Set(float64(st.Recoveries))
+	}
 	if trafficEng != nil {
 		st := trafficEng.Stats()
 		res.Traffic = &st
@@ -299,6 +318,13 @@ func Run(s *Scenario) (*Result, error) {
 			s.Obs.Gauge("traffic.traces_considered").Set(float64(rt.Considered))
 			s.Obs.Gauge("traffic.traces_kept").Set(float64(rt.Kept))
 			s.Obs.Gauge("traffic.traces_kept_errors").Set(float64(rt.KeptErrors))
+		}
+		// Hedge gauges appear only when hedging is configured, so
+		// hedge-free journals keep their historical final snapshots.
+		if s.Traffic.Hedge != nil {
+			s.Obs.Gauge("traffic.hedges").Set(float64(st.Hedges))
+			s.Obs.Gauge("traffic.hedges_denied").Set(float64(st.HedgesDenied))
+			s.Obs.Gauge("traffic.hedge_wins").Set(float64(st.HedgeWins))
 		}
 	}
 	// Read alert stats before the deferred Stop tears the engine down.

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"toto/internal/obs/journal"
+	"toto/internal/traffic"
+)
+
+// TestGrayfailWeekScenario runs scenarios/grayfail-week.json — seven days
+// of diurnal traffic with traffic classes, load-aware routing, hedged
+// requests, and slow-node detection armed, against a chaos schedule of
+// fail-slow windows (including a domain-correlated one) and node crashes
+// — and asserts the gray-failure resilience contract end to end:
+//
+//   - the full mitigation stack measurably beats the same seed with every
+//     mitigation stripped, on both run p99 and SLO-violating hours;
+//   - hedging fired and stayed within its ≤5%-of-offered-load budget;
+//   - the detector's full lifecycle ran (detect → quarantine → drain →
+//     recover) and every quarantine chains to a chaos injection;
+//   - hedge bursts likewise root at the injected fail-slow faults.
+func TestGrayfailWeekScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("7-day gray-failure scenario")
+	}
+	data, err := os.ReadFile("../../scenarios/grayfail-week.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf, err := ParseScenarioFile(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sf.Traffic == nil || sf.Traffic.Hedge == nil || sf.Traffic.Routing == nil || sf.Traffic.Classes == nil {
+		t.Fatal("grayfail-week.json does not configure the full traffic mitigation stack")
+	}
+	if sf.SlowNode == nil {
+		t.Fatal("grayfail-week.json has no slowNode section")
+	}
+	if sf.Chaos == nil {
+		t.Fatal("grayfail-week.json has no chaos section")
+	}
+
+	// Mitigated run: the scenario file as shipped, journaled.
+	sc := sf.Build(DefaultModels().Set)
+	var buf bytes.Buffer
+	sc.Journal = journal.NewWriter(&buf)
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatalf("Run (mitigated): %v", err)
+	}
+	if err := sc.Journal.Close(); err != nil {
+		t.Fatalf("journal close: %v", err)
+	}
+	st := res.Traffic
+	if st == nil {
+		t.Fatal("run returned no traffic stats")
+	}
+	sn := res.SlowNodes
+	if sn == nil {
+		t.Fatal("run returned no slow-node stats despite an armed detector")
+	}
+	t.Logf("mitigated: p99=%.1fms sloViolations=%d hedges=%d wins=%d denied=%d",
+		st.P99Ms, st.SLOViolationHours, st.Hedges, st.HedgeWins, st.HedgesDenied)
+	t.Logf("slow nodes: %+v", *sn)
+
+	// Unmitigated twin: identical seeds and fault schedule, every
+	// gray-failure mitigation stripped.
+	un := sf.Build(DefaultModels().Set)
+	un.SlowNodeDetection = nil
+	un.Traffic.Classes = nil
+	un.Traffic.Routing = nil
+	un.Traffic.Hedge = nil
+	unres, err := Run(un)
+	if err != nil {
+		t.Fatalf("Run (unmitigated): %v", err)
+	}
+	ust := unres.Traffic
+	if ust == nil {
+		t.Fatal("unmitigated run returned no traffic stats")
+	}
+	t.Logf("unmitigated: p99=%.1fms sloViolations=%d", ust.P99Ms, ust.SLOViolationHours)
+
+	// The fault schedule must bite unmitigated, and the mitigation stack
+	// must measurably shrink the tail.
+	if ust.SLOViolationHours == 0 {
+		t.Error("the fail-slow week never violated the SLO unmitigated — the faults do not bite")
+	}
+	if st.P99Ms >= ust.P99Ms {
+		t.Errorf("mitigated p99 %.1fms not below unmitigated %.1fms", st.P99Ms, ust.P99Ms)
+	}
+	if st.SLOViolationHours > ust.SLOViolationHours {
+		t.Errorf("mitigated SLO violations %d exceed unmitigated %d",
+			st.SLOViolationHours, ust.SLOViolationHours)
+	}
+
+	// Hedging fired and honored the hard ≤5%-of-offered-load ceiling.
+	if st.Hedges == 0 || st.HedgeWins == 0 {
+		t.Errorf("hedging did not run: hedges=%d wins=%d", st.Hedges, st.HedgeWins)
+	}
+	if cap := float64(st.Arrivals)*0.05 + 1; float64(st.Hedges) > cap {
+		t.Errorf("hedges %d exceed the 5%% budget ceiling %.0f", st.Hedges, cap)
+	}
+
+	// The detector's whole lifecycle ran against the injected slowness.
+	if sn.Detections == 0 || sn.Quarantines == 0 {
+		t.Errorf("slow-node detection did not run: %+v", *sn)
+	}
+	if sn.DrainMoves == 0 {
+		t.Error("no replicas were drained off quarantined nodes")
+	}
+	if sn.Recoveries == 0 {
+		t.Error("no slow-node episode closed healthy")
+	}
+
+	// Every quarantine and hedge burst must chain to a chaos injection —
+	// gray failures are never unexplained.
+	entries, err := journal.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := journal.Index(entries)
+	var quarantines, hedgeBursts, hedgeRooted int
+	for i := range entries {
+		e := &entries[i]
+		if e.Type != journal.TypeAnnotation {
+			continue
+		}
+		switch e.Kind {
+		case "slow-node-quarantined":
+			quarantines++
+			if root := journal.RootCause(idx, e); root != "chaos" {
+				t.Errorf("quarantine of %s at %s has root cause %q, want chaos",
+					e.Node, e.Time().Format("2006-01-02T15:04"), root)
+			}
+		case traffic.KindRequestHedged:
+			hedgeBursts++
+			if journal.RootCause(idx, e) == "chaos" {
+				hedgeRooted++
+			}
+		}
+	}
+	if quarantines == 0 {
+		t.Error("no slow-node-quarantined annotations journaled")
+	}
+	if hedgeBursts == 0 {
+		t.Error("no request-hedged annotations journaled")
+	}
+	// Hedges fire off tick-level latency, which can outlive the 2h anchor
+	// horizon slightly; the bulk must still root at the injected faults.
+	if hedgeRooted*2 < hedgeBursts {
+		t.Errorf("only %d/%d hedge bursts root at chaos", hedgeRooted, hedgeBursts)
+	}
+}

@@ -78,6 +78,12 @@ func NewOrchestrator(s *Scenario) (*Orchestrator, error) {
 		fabric.MetricMemoryGB: s.NodeSpec.LogicalMemoryGB,
 	}
 	cluster := fabric.NewCluster(clock, s.Nodes, capacity, cfg)
+	if s.SlowNodeDetection != nil {
+		// Arm before Start so the first PLB scan already runs the
+		// detector's state machine; the traffic plane feeds it per-node
+		// service latencies once the measured window opens.
+		cluster.EnableSlowNodeDetection(*s.SlowNodeDetection)
+	}
 	if s.Journal != nil {
 		// Attach before anything can emit: the journal must open with the
 		// bootstrap placements, and subscribing the annotation listener is

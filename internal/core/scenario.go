@@ -115,6 +115,14 @@ type Scenario struct {
 	// UpgradePerNode is each node's maintenance window (default 20m when
 	// an upgrade is scheduled without one).
 	UpgradePerNode time.Duration
+	// SlowNodeDetection, when set, arms the fabric's gray-failure
+	// detector before the cluster starts: per-node latency EWMAs fed by
+	// the traffic plane, probationary quarantine of nodes whose EWMA
+	// sustains above the cluster median, and rate-limited planned-move
+	// drains (see fabric.SlowNodeConfig). Zero fields take the fabric
+	// defaults. nil (the default) leaves the detector entirely inert —
+	// ObserveNodeLatency is a no-op and chooseTarget is untouched.
+	SlowNodeDetection *fabric.SlowNodeConfig
 	// Chaos, when set, attaches a deterministic fault-injection schedule
 	// to the measured window: the engine installs itself as the fabric's
 	// fault injector, switches the PLB into degraded mode, and validates

@@ -58,6 +58,21 @@ type ScenarioFile struct {
 		TimeoutHours     float64 `json:"timeoutHours"`
 		Headroom         float64 `json:"headroom"`
 	} `json:"upgrade"`
+	// SlowNode, when set, arms the fabric's gray-failure detector:
+	// per-node latency EWMAs compared against the cluster median,
+	// probationary quarantine, and rate-limited planned-move drains.
+	// Omitted fields take the fabric defaults (see
+	// fabric.DefaultSlowNodeConfig).
+	SlowNode *struct {
+		EWMAAlpha         float64 `json:"ewmaAlpha"`
+		Threshold         float64 `json:"threshold"`
+		MinSamples        int     `json:"minSamples"`
+		SustainMinutes    float64 `json:"sustainMinutes"`
+		ProbationHours    float64 `json:"probationHours"`
+		DrainAfterMinutes float64 `json:"drainAfterMinutes"`
+		MaxDrainMoves     int     `json:"maxDrainMoves"`
+		DrainHeadroom     float64 `json:"drainHeadroom"`
+	} `json:"slowNode"`
 	// Chaos optionally attaches a deterministic fault schedule to the
 	// measured window (see internal/chaos for the schema).
 	Chaos *chaos.Spec `json:"chaos"`
@@ -90,6 +105,13 @@ func ParseScenarioFile(data []byte) (*ScenarioFile, error) {
 	if sf.Upgrade != nil && (sf.Upgrade.StartHours < 0 || sf.Upgrade.PerDomainMinutes < 0 ||
 		sf.Upgrade.RetryMinutes < 0 || sf.Upgrade.TimeoutHours < 0 || sf.Upgrade.Headroom < 0) {
 		return nil, fmt.Errorf("core: scenario file has negative upgrade parameters")
+	}
+	if sn := sf.SlowNode; sn != nil {
+		if sn.EWMAAlpha < 0 || sn.EWMAAlpha > 1 || sn.Threshold < 0 || sn.MinSamples < 0 ||
+			sn.SustainMinutes < 0 || sn.ProbationHours < 0 || sn.DrainAfterMinutes < 0 ||
+			sn.MaxDrainMoves < 0 || sn.DrainHeadroom < 0 || sn.DrainHeadroom >= 1 {
+			return nil, fmt.Errorf("core: scenario file has invalid slowNode parameters")
+		}
 	}
 	if sf.Chaos != nil {
 		if err := sf.Chaos.Validate(); err != nil {
@@ -163,6 +185,18 @@ func (sf *ScenarioFile) Build(set *models.ModelSet) *Scenario {
 				Timeout:          time.Duration(sf.Upgrade.TimeoutHours * float64(time.Hour)),
 				CapacityHeadroom: sf.Upgrade.Headroom,
 			},
+		}
+	}
+	if sn := sf.SlowNode; sn != nil {
+		sc.SlowNodeDetection = &fabric.SlowNodeConfig{
+			EWMAAlpha:     sn.EWMAAlpha,
+			Threshold:     sn.Threshold,
+			MinSamples:    sn.MinSamples,
+			Sustain:       time.Duration(sn.SustainMinutes * float64(time.Minute)),
+			Probation:     time.Duration(sn.ProbationHours * float64(time.Hour)),
+			DrainAfter:    time.Duration(sn.DrainAfterMinutes * float64(time.Minute)),
+			MaxDrainMoves: sn.MaxDrainMoves,
+			DrainHeadroom: sn.DrainHeadroom,
 		}
 	}
 	sc.Chaos = sf.Chaos

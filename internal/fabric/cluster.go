@@ -205,6 +205,10 @@ type Cluster struct {
 	// upgrade.go).
 	upgrade *UpgradeWalker
 
+	// slowDet is the gray-failure detector, nil unless
+	// EnableSlowNodeDetection was called (see slownode.go).
+	slowDet *slowNodeDetector
+
 	obs     *obs.Obs
 	metrics clusterMetrics
 }
@@ -243,6 +247,12 @@ type clusterMetrics struct {
 	upgradeDomains  *obs.Counter   // fabric.upgrade_domains_completed
 	upgradeStalls   *obs.Counter   // fabric.upgrade_stalls
 	upgradeRollback *obs.Counter   // fabric.upgrade_rollbacks
+
+	// gray-failure detection instruments (see slownode.go)
+	slowDetections  *obs.Counter // fabric.slow_node_detections
+	slowQuarantines *obs.Counter // fabric.slow_node_quarantines
+	slowDrainMoves  *obs.Counter // fabric.slow_node_drain_moves
+	slowRecoveries  *obs.Counter // fabric.slow_node_recoveries
 }
 
 func newClusterMetrics(o *obs.Obs) clusterMetrics {
@@ -275,6 +285,11 @@ func newClusterMetrics(o *obs.Obs) clusterMetrics {
 		upgradeDomains:  o.Counter("fabric.upgrade_domains_completed"),
 		upgradeStalls:   o.Counter("fabric.upgrade_stalls"),
 		upgradeRollback: o.Counter("fabric.upgrade_rollbacks"),
+
+		slowDetections:  o.Counter("fabric.slow_node_detections"),
+		slowQuarantines: o.Counter("fabric.slow_node_quarantines"),
+		slowDrainMoves:  o.Counter("fabric.slow_node_drain_moves"),
+		slowRecoveries:  o.Counter("fabric.slow_node_recoveries"),
 	}
 }
 

@@ -79,6 +79,10 @@ const (
 	// CauseUpgrade marks drains and restores the rolling-upgrade walker
 	// performs while walking upgrade domains.
 	CauseUpgrade
+	// CauseSlowNode marks decisions the gray-failure detector makes:
+	// probationary quarantines and the planned moves that drain a
+	// quarantined slow node.
+	CauseSlowNode
 )
 
 // String returns the cause name.
@@ -100,6 +104,8 @@ func (k CauseKind) String() string {
 		return "forced"
 	case CauseUpgrade:
 		return "upgrade"
+	case CauseSlowNode:
+		return "slow-node"
 	default:
 		return "none"
 	}
@@ -108,7 +114,7 @@ func (k CauseKind) String() string {
 // ParseCause converts a cause's display name back to its kind — the
 // inverse of String, for journal readers.
 func ParseCause(s string) (CauseKind, bool) {
-	for k := CauseNone; k <= CauseUpgrade; k++ {
+	for k := CauseNone; k <= CauseSlowNode; k++ {
 		if k.String() == s {
 			return k, true
 		}

@@ -39,9 +39,9 @@ func TestEventKindString(t *testing.T) {
 	if EventUpgradeStarted != 110 {
 		t.Errorf("upgrade kinds renumbered: EventUpgradeStarted=%d, want 110", int(EventUpgradeStarted))
 	}
-	// ParseCause must round-trip every cause, including CauseUpgrade at
+	// ParseCause must round-trip every cause, including CauseSlowNode at
 	// the end of the range.
-	for k := CauseNone; k <= CauseUpgrade; k++ {
+	for k := CauseNone; k <= CauseSlowNode; k++ {
 		got, ok := ParseCause(k.String())
 		if k == CauseNone {
 			continue // "none" is the fallback label, not parseable back

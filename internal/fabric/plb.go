@@ -378,6 +378,11 @@ func (p *plb) scan(now time.Time) {
 	sp := p.cluster.obs.Span("plb.scan")
 	p.ensureCaps()
 	p.accrueDegradation()
+	// Gray-failure detection piggybacks on the scan cadence: one nil
+	// check on detection-free clusters (see slownode.go).
+	if d := p.cluster.slowDet; d != nil {
+		d.check(now)
+	}
 	// Degraded mode caps the violation moves one scan may make, so a
 	// correlated failure cannot trigger a failover storm that itself
 	// overloads the surviving nodes. Unserved violations wait for the

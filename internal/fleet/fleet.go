@@ -290,6 +290,13 @@ func Fingerprint(res *core.Result) string {
 		wf(st.P50Ms)
 		wf(st.P99Ms)
 		wf(st.P999Ms)
+		// Hedge counters fold in only when hedging actually fired, so
+		// hedge-free fleets keep their historical fingerprints.
+		if st.Hedges != 0 || st.HedgesDenied != 0 || st.HedgeWins != 0 {
+			wi(st.Hedges)
+			wi(st.HedgesDenied)
+			wi(st.HedgeWins)
+		}
 		// The tail sampler's counters fold in only when tracing ran, so
 		// untraced fleets keep their historical fingerprints.
 		if rt := st.Reqtrace; rt != nil {
@@ -302,6 +309,15 @@ func Fingerprint(res *core.Result) string {
 			wi(rt.KeptSampled)
 			wi(rt.Dropped)
 		}
+	}
+
+	// Slow-node detector counters fold in only when detection was armed,
+	// so detector-free fleets keep their historical fingerprints.
+	if sn := res.SlowNodes; sn != nil {
+		wi(int64(sn.Detections))
+		wi(int64(sn.Quarantines))
+		wi(int64(sn.DrainMoves))
+		wi(int64(sn.Recoveries))
 	}
 
 	wi(int64(len(res.Samples)))

@@ -43,6 +43,10 @@ const (
 	SpanError     = "error"
 	SpanShed      = "shed"
 	SpanReject    = "breaker-reject"
+	// SpanHedge marks a hedged dispatch: the speculative second attempt a
+	// tail request launched after its hedge delay. Zero duration when the
+	// original attempt still won the race.
+	SpanHedge = "hedge"
 )
 
 // Outcome classifies how a request group ended.

@@ -33,6 +33,25 @@ func BenchmarkSimulatedDayWithTrafficTraced(b *testing.B) {
 	}
 }
 
+// BenchmarkSimulatedDayTrafficHedged is the gray-failure stack's cost:
+// the same day with traffic classes, load-aware routing, hedged
+// requests, and slow-node detection all armed against a fail-slow node
+// ramping to 4×. The delta against BenchmarkSimulatedDayWithTraffic is
+// the full price of the resilience layer while it is actually working —
+// routing picks, hedge pricing, detector feeds, quarantine, and drain.
+func BenchmarkSimulatedDayTrafficHedged(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		spec := traffic.Spec{
+			Seed:    7,
+			Classes: &traffic.ClassesSpec{},
+			Routing: &traffic.RoutingSpec{},
+			Hedge:   &traffic.HedgeSpec{},
+		}
+		runGrayfailDay(b, grayfailOpts{spec: spec, detect: true, slow: true, labels: true}, nil)
+	}
+}
+
 // BenchmarkSimulatedDayNoTraffic is the paired baseline: the identical
 // workload and outage with no traffic engine constructed, isolating the
 // plane's cost from the fabric's.
@@ -116,5 +135,13 @@ func TestNoTrafficZeroAlloc(t *testing.T) {
 		_ = c.ReportLoad(rep.ID, fabric.MetricMemoryGB, 4)
 	}); allocs != 0 {
 		t.Errorf("steady-state ReportLoad allocates %.1f per call", allocs)
+	}
+	// The gray-failure PR's inertness pin: with no detector enabled, the
+	// per-tick latency observation hook the traffic plane would call is
+	// a free no-op on the no-grayfail path.
+	if allocs := testing.AllocsPerRun(200, func() {
+		c.ObserveNodeLatency("node-0", 5)
+	}); allocs != 0 {
+		t.Errorf("ObserveNodeLatency allocates %.1f per call with detection off", allocs)
 	}
 }

@@ -26,6 +26,14 @@ const (
 	KindBreakerClosed        = "breaker-closed"
 	KindRetryBudgetExhausted = "retry-budget-exhausted"
 	KindRequestErrors        = "request-errors"
+	// KindRequestHedged counts one tick's granted hedges for a service
+	// (Value granted, Limit desired, Detail the hedge-target node);
+	// KindHedgeBudgetExhausted the hedges the budget refused. Both exist
+	// only when hedging is configured and chain to the incident that
+	// slowed the primary path — a fail-slow injection roots the burst at
+	// chaos.
+	KindRequestHedged        = "request-hedged"
+	KindHedgeBudgetExhausted = "hedge-budget-exhausted"
 	// KindRequestTrace carries one kept request trace (reqtrace wire
 	// format in Detail); KindTraceHour closes each observation hour with
 	// its p99 verdict and the p99 bucket's exemplar. Both exist only when
@@ -86,6 +94,9 @@ type Stats struct {
 	Dispatched      int64 // attempts sent to backends, retries included
 	Retries         int64 // retry attempts granted by the budget
 	RetriesDenied   int64 // retry attempts the budget refused
+	Hedges          int64 // hedged attempts granted by the hedge budget
+	HedgesDenied    int64 // hedged attempts the hedge budget refused
+	HedgeWins       int64 // hedges whose speculative attempt finished first
 	Errors          int64 // dispatched requests that finally failed
 	Failed          int64 // user-visible failures: shed + rejected + errors
 	Batches         int64 // dispatch batches
@@ -110,7 +121,10 @@ type Stats struct {
 type svcState struct {
 	br          *Breaker
 	retryTokens float64
-	queued      int
+	// hedge is the service's hedge budget — a separate bucket from
+	// retryTokens by design: hedges and retries may never trade tokens.
+	hedge  hedgeBudget
+	queued int
 	// openSeq/openKind chain the breaker lifecycle: the open annotation's
 	// journal seq and root cause, so half-open and closed chain to it.
 	openSeq  uint64
@@ -156,8 +170,24 @@ type Engine struct {
 	rec        *reqtrace.Recorder
 	traceGroup int     // per-serveOne group counter, part of the trace ID
 	detailBuf  []byte  // reused wire-encoding buffer
-	lastNode   string  // primary's node at the last latencyMs call
-	lastUtil   float64 // primary node utilization at the last latencyMs call
+	lastNode   string  // serving node at the last latencyMs call
+	lastUtil   float64 // serving node utilization at the last latencyMs call
+
+	// Fail-slow hook (nil when no chaos fail-slow view is attached).
+	slowFn func(node string, now time.Time) float64
+
+	// Per-serveOne hedge scratch: the class hedge delay and the
+	// speculative path's modeled latency and target node, set by
+	// latencyMs when hedging is configured and a second replica exists.
+	// curHedge is non-nil only while the current tick qualifies for
+	// hedging; the tick counters feed the per-tick annotations.
+	hedgeDelayMs  float64
+	hedgeAltMs    float64
+	hedgeAltNode  string
+	curHedge      *svcState
+	tickHedges    int64
+	tickHedgeDeny int64
+	tickHedgeWins int64
 
 	// Prometheus export: flush publishes an immutable snapshot under
 	// promMu; the registry's provider callback may read it from any
@@ -345,8 +375,24 @@ func (e *Engine) tick(now time.Time) {
 		e.tokens = burst
 	}
 
+	if e.spec.Classes == nil {
+		e.cluster.EachLiveService(func(s *fabric.Service) {
+			e.serveOne(now, s, shape)
+		})
+		return
+	}
+	// Traffic classes: premium services admit first, so the shared token
+	// bucket drains in class order and overload sheds standard traffic
+	// before premium — the shed order is the admission order.
 	e.cluster.EachLiveService(func(s *fabric.Service) {
-		e.serveOne(now, s, shape)
+		if e.isPremium(s) {
+			e.serveOne(now, s, shape)
+		}
+	})
+	e.cluster.EachLiveService(func(s *fabric.Service) {
+		if !e.isPremium(s) {
+			e.serveOne(now, s, shape)
+		}
 	})
 }
 
@@ -363,6 +409,9 @@ func (e *Engine) serveOne(now time.Time, s *fabric.Service, shape float64) {
 	// hashed over (seed, time, service, outcome, group) — stay unique.
 	e.traceGroup = 0
 	e.lastNode, e.lastUtil = "", 0
+	e.curHedge = nil
+	e.tickHedges, e.tickHedgeDeny, e.tickHedgeWins = 0, 0, 0
+	premium := e.isPremium(s)
 
 	mean := e.spec.PerCoreRPS * s.TotalReservedCores() * shape * e.spec.TickSeconds
 	n := 0
@@ -384,8 +433,14 @@ func (e *Engine) serveOne(now time.Time, s *fabric.Service, shape float64) {
 	e.tokens -= float64(take)
 	overflow := demand - take
 	st.queued = overflow
-	if st.queued > e.spec.QueueDepth {
-		st.queued = e.spec.QueueDepth
+	depth := e.spec.QueueDepth
+	if premium && e.spec.Classes != nil {
+		// The premium admission weight: a deeper overflow queue, so
+		// premium spillover waits out a burst that sheds standard load.
+		depth = int(float64(depth) * e.spec.Classes.PremiumWeight)
+	}
+	if st.queued > depth {
+		st.queued = depth
 	}
 	if shed := overflow - st.queued; shed > 0 {
 		e.stats.Shed += int64(shed)
@@ -440,7 +495,22 @@ func (e *Engine) serveOne(now time.Time, s *fabric.Service, shape float64) {
 
 	var meanMs float64
 	if pass > 0 {
-		meanMs = e.latencyMs(s, pass)
+		meanMs = e.latencyMs(s, pass, now, premium)
+		if e.cluster.SlowNodeDetectionEnabled() {
+			e.feedSlowNodeDetector(s, now)
+		}
+	}
+
+	// Hedging: the budget refills from fresh arrivals only (like the
+	// retry budget, but a strictly separate bucket), and the tick
+	// qualifies once its modeled mean outlives the class hedge delay —
+	// per-cell grants happen inside observe, where the latency spread is
+	// known. Consumes no randomness.
+	if e.spec.Hedge != nil {
+		st.hedge.refill(n, mean, e.spec.Hedge.BudgetRatio)
+		if e.hedgeDelayMs > 0 && meanMs > e.hedgeDelayMs {
+			e.curHedge = st
+		}
 	}
 
 	// Retries: the budget refills from fresh arrivals only, so a retry
@@ -532,32 +602,69 @@ func (e *Engine) serveOne(now time.Time, s *fabric.Service, shape float64) {
 	// stay a single call here so enabling tracing never shifts the rng.
 	back := e.backoffMs()
 	queueMs := e.spec.TickSeconds * 1000 / 2
-	e.observe(now, s.Name, saved, meanMs+back, 0, back, 1)
-	e.observe(now, s.Name, fromQueue, meanMs+queueMs, queueMs, 0, 0)
-	e.observe(now, s.Name, okCount-saved-fromQueue, meanMs, 0, 0, 0)
+	e.observe(now, s.Name, saved, meanMs+back, 0, back, 1, false)
+	e.observe(now, s.Name, fromQueue, meanMs+queueMs, queueMs, 0, 0, false)
+	// Only the plain cells hedge: queue-drained and retried requests
+	// already paid a wait the hedge race would not have won.
+	e.observe(now, s.Name, okCount-saved-fromQueue, meanMs, 0, 0, 0, true)
+
+	if e.tickHedges > 0 {
+		e.stats.Hedges += e.tickHedges
+		e.stats.HedgeWins += e.tickHedgeWins
+		e.stats.Dispatched += e.tickHedges // speculative attempts are real load
+		aSeq, aKind := e.bestAnchor(now)
+		e.annotate(KindRequestHedged, now, s.Name, float64(e.tickHedges),
+			float64(e.tickHedges+e.tickHedgeDeny), e.hedgeAltNode, aSeq, aKind)
+	}
+	if e.tickHedgeDeny > 0 {
+		e.stats.HedgesDenied += e.tickHedgeDeny
+		aSeq, aKind := e.bestAnchor(now)
+		e.annotate(KindHedgeBudgetExhausted, now, s.Name, float64(e.tickHedgeDeny),
+			float64(e.tickHedges+e.tickHedgeDeny), "", aSeq, aKind)
+	}
 }
 
 // latencyMs models one tick's mean request latency for a service: batch-
-// amortized overhead plus a base service time inflated by the primary
-// node's core utilization and replica co-location.
-func (e *Engine) latencyMs(s *fabric.Service, pass int) float64 {
+// amortized overhead plus a base service time inflated by the serving
+// node's core utilization, replica co-location, and (when a fail-slow
+// hook is attached) its slow factor. The serving node is the primary, or
+// the least-loaded healthy replica when routing is configured. As a side
+// effect it arms the hedge scratch: the class hedge delay and the
+// speculative path's latency on the best other replica.
+func (e *Engine) latencyMs(s *fabric.Service, pass int, now time.Time, premium bool) float64 {
 	batches := (pass + e.spec.BatchSize - 1) / e.spec.BatchSize
 	e.stats.Batches += int64(batches)
 	fill := float64(pass) / float64(batches)
 	m := e.spec.OverheadMs/fill + e.spec.BaseLatencyMs
-	if p := s.Primary(); p != nil && p.Node != nil {
-		node := p.Node
-		capc := node.Capacity[fabric.MetricCores] * e.cluster.Density()
-		util := 0.0
-		if capc > 0 {
-			util = node.Load(fabric.MetricCores) / capc
+	e.hedgeDelayMs, e.hedgeAltMs, e.hedgeAltNode = 0, 0, ""
+	p := s.Primary()
+	if p == nil || p.Node == nil {
+		return m
+	}
+	serving := p.Node
+	if e.spec.Routing != nil {
+		if best := e.leastLoadedReplica(s, now, nil); best != nil {
+			serving = best
 		}
-		if util > 0.95 {
-			util = 0.95
+	}
+	svcMs, util := e.nodeServiceMs(serving, now)
+	m = e.spec.OverheadMs/fill + svcMs
+	e.lastNode, e.lastUtil = serving.ID, util
+	if e.spec.Hedge != nil {
+		if alt := e.leastLoadedReplica(s, now, serving); alt != nil {
+			altMs, _ := e.nodeServiceMs(alt, now)
+			e.hedgeAltMs = e.spec.OverheadMs/fill + altMs
+			e.hedgeAltNode = alt.ID
+			mult := e.spec.Hedge.DelayMultiple
+			if premium {
+				mult = e.spec.Hedge.PremiumDelayMultiple
+			}
+			// The hedge delay is relative to the alternate route, not an
+			// absolute baseline: it self-calibrates to whatever the
+			// cluster-wide load level makes requests cost right now, so
+			// only slowness the alternate would beat triggers a hedge.
+			e.hedgeDelayMs = e.hedgeAltMs * mult
 		}
-		coloc := 1 + colocLatencyFactor*float64(node.ReplicaCount()-1)
-		m = e.spec.OverheadMs/fill + e.spec.BaseLatencyMs/(1-util)*coloc
-		e.lastNode, e.lastUtil = node.ID, util
 	}
 	return m
 }
@@ -600,8 +707,9 @@ var latSpread = []struct{ cum, mult float64 }{
 // observe records count successful requests around mean ms. queueMs and
 // backMs are the queue-wait and retry-backoff components already inside
 // ms; the tracer scales them with the spread multiplier so a trace's
-// spans sum exactly to its recorded latency.
-func (e *Engine) observe(now time.Time, svc string, count int, ms, queueMs, backMs float64, retries int) {
+// spans sum exactly to its recorded latency. hedge marks cells eligible
+// for hedged dispatch when the current tick qualifies.
+func (e *Engine) observe(now time.Time, svc string, count int, ms, queueMs, backMs float64, retries int, hedge bool) {
 	if count <= 0 {
 		return
 	}
@@ -612,20 +720,48 @@ func (e *Engine) observe(now time.Time, svc string, count int, ms, queueMs, back
 			upto = int64(count)
 		}
 		if k := upto - assigned; k > 0 {
-			if e.rec != nil {
-				e.traceOK(now, svc, k, ms*qs.mult, queueMs*qs.mult, backMs*qs.mult, retries)
-			}
-			e.hourHist.add(ms*qs.mult, k)
+			e.observeCell(now, svc, k, qs.mult, ms, queueMs, backMs, retries, hedge)
 			assigned = upto
 		}
 	}
 	if k := int64(count) - assigned; k > 0 {
 		mult := latSpread[len(latSpread)-1].mult
-		if e.rec != nil {
-			e.traceOK(now, svc, k, ms*mult, queueMs*mult, backMs*mult, retries)
-		}
-		e.hourHist.add(ms*mult, k)
+		e.observeCell(now, svc, k, mult, ms, queueMs, backMs, retries, hedge)
 	}
+}
+
+// observeCell records one latency-spread cell. When the tick qualifies
+// for hedging and the cell's latency outlives the hedge delay, as many
+// of its requests as the hedge budget grants race a speculative attempt
+// on the alternate replica and observe whichever path finished first.
+func (e *Engine) observeCell(now time.Time, svc string, k int64, mult, ms, queueMs, backMs float64, retries int, hedge bool) {
+	v := ms * mult
+	if hedge && e.curHedge != nil && v > e.hedgeDelayMs {
+		granted := int64(e.curHedge.hedge.grant(int(k)))
+		e.tickHedgeDeny += k - granted
+		if granted > 0 {
+			hv := e.hedgeDelayMs + e.hedgeAltMs*mult
+			win := hv < v
+			if win {
+				e.tickHedgeWins += granted
+			} else {
+				hv = v
+			}
+			e.tickHedges += granted
+			if e.rec != nil {
+				e.traceHedged(now, svc, granted, hv, win)
+			}
+			e.hourHist.add(hv, granted)
+			k -= granted
+		}
+	}
+	if k <= 0 {
+		return
+	}
+	if e.rec != nil {
+		e.traceOK(now, svc, k, v, queueMs*mult, backMs*mult, retries)
+	}
+	e.hourHist.add(v, k)
 }
 
 // traceFail assembles and offers a failure trace (shed or breaker-
@@ -696,6 +832,34 @@ func (e *Engine) traceOK(now time.Time, svc string, count int64, v, queueMs, bac
 	group := e.traceGroup
 	e.traceGroup++
 	if kept, ok := e.rec.Finish(reqtrace.OutcomeOK, count, v, retries, group, bucketFirst); ok {
+		e.hourHist.setExemplar(v, kept.ID)
+		aSeq, aKind := e.bestAnchor(now)
+		e.emitTrace(now, svc, kept, aSeq, aKind)
+	}
+}
+
+// traceHedged assembles a success trace for a hedged latency-spread
+// cell: the dispatch raced a speculative attempt launched at the hedge
+// delay, and v is whichever path finished first. On a win the hedge span
+// carries the alternate's service time; on a loss it is zero-duration —
+// launched, but beaten by the original.
+func (e *Engine) traceHedged(now time.Time, svc string, count int64, v float64, win bool) {
+	bucketFirst := e.hourHist.needsExemplar(v)
+	tr := e.rec.Begin(now.UnixNano(), svc)
+	tr.Add(reqtrace.SpanArrival, 0, 0)
+	tr.Add(reqtrace.SpanAdmission, 0, 0)
+	tr.Add(reqtrace.SpanBreaker, 0, 0)
+	if win {
+		tr.AddDispatch(0, e.hedgeDelayMs, e.lastNode, e.lastUtil)
+		tr.Add(reqtrace.SpanHedge, e.hedgeDelayMs, v-e.hedgeDelayMs)
+	} else {
+		tr.AddDispatch(0, v, e.lastNode, e.lastUtil)
+		tr.Add(reqtrace.SpanHedge, e.hedgeDelayMs, 0)
+	}
+	tr.Add(reqtrace.SpanComplete, v, 0)
+	group := e.traceGroup
+	e.traceGroup++
+	if kept, ok := e.rec.Finish(reqtrace.OutcomeOK, count, v, 0, group, bucketFirst); ok {
 		e.hourHist.setExemplar(v, kept.ID)
 		aSeq, aKind := e.bestAnchor(now)
 		e.emitTrace(now, svc, kept, aSeq, aKind)

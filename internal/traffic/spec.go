@@ -60,6 +60,62 @@ type RetrySpec struct {
 	Jitter float64 `json:"jitter,omitempty"`
 }
 
+// ClassesSpec partitions services into premium and standard traffic
+// classes by service label. Premium services are admitted first each
+// tick, so under overload the shared admission bucket drains in class
+// order and standard traffic sheds before premium — the shed order is
+// the admission order. Nil disables classes: every service is standard
+// and admission runs in plain name order.
+type ClassesSpec struct {
+	// Label is the service label inspected to classify a service.
+	// Default "edition" (the control plane's edition label).
+	Label string `json:"label,omitempty"`
+	// PremiumEditions lists the label values mapped to the premium
+	// class; services without the label, or with any other value, are
+	// standard. Default ["Premium/BC"].
+	PremiumEditions []string `json:"premiumEditions,omitempty"`
+	// PremiumWeight is the premium class's admission weight: it
+	// multiplies the bounded-queue entitlement of premium services, so
+	// premium overflow waits where standard overflow sheds. Must be at
+	// least 1. Default 2.
+	PremiumWeight float64 `json:"premiumWeight,omitempty"`
+}
+
+// RoutingSpec enables load-aware replica routing: each tick a service
+// dispatches against its least-loaded healthy replica (up, not
+// quarantined, not mid-build) instead of unconditionally against its
+// primary. Routing keys on reported core utilization — it is load-aware,
+// not latency-aware, so a fail-slow node keeps attracting traffic until
+// the gray-failure detector quarantines it; hedging covers that gap.
+// Nil disables routing (primary-only dispatch). Presence enables it; no
+// knobs yet.
+type RoutingSpec struct{}
+
+// HedgeSpec configures deterministic hedged requests: when a tick's
+// modeled latency exceeds the hedge delay, requests launch a speculative
+// second attempt on the least-loaded other replica and take whichever
+// finishes first. The hedge budget refills only from fresh arrivals, so
+// hedges can never add more than BudgetRatio of offered load — bounded
+// by construction, and accounted separately from the retry budget.
+// Nil disables hedging.
+type HedgeSpec struct {
+	// DelayMultiple is the standard-class hedge delay, as a multiple of
+	// what the request would currently cost on the best *other* replica:
+	// a request hedges only once serving it has outlived DelayMultiple
+	// alternate-route estimates. Anchoring the delay to the alternate
+	// route self-calibrates it to cluster load — under uniform load the
+	// serving and alternate routes cost about the same, so nothing
+	// hedges; a fail-slow serving node crosses the multiple as soon as
+	// its slowdown exceeds it. Must be at least 1. Default 2.
+	DelayMultiple float64 `json:"delayMultiple,omitempty"`
+	// PremiumDelayMultiple is the premium-class hedge delay multiple —
+	// premium requests hedge earlier. Must be at least 1. Default 1.5.
+	PremiumDelayMultiple float64 `json:"premiumDelayMultiple,omitempty"`
+	// BudgetRatio is the hedge-token refill per fresh arrival, capped at
+	// 0.05: hedging may never add more than 5% extra load. Default 0.02.
+	BudgetRatio float64 `json:"budgetRatio,omitempty"`
+}
+
 // Spec is the JSON-configurable traffic plane. All knobs are optional;
 // zero values take the documented defaults (a zero-valued field cannot
 // express "off" — use a tiny value instead).
@@ -109,6 +165,13 @@ type Spec struct {
 	// the retry budget.
 	Breaker BreakerSpec `json:"breaker,omitempty"`
 	Retry   RetrySpec   `json:"retry,omitempty"`
+	// Classes, Routing, and Hedge are the gray-failure resilience knobs:
+	// per-service traffic classes, load-aware replica routing, and
+	// deterministic hedged requests. All three default to nil — off, with
+	// byte-identical behavior to a spec predating them.
+	Classes *ClassesSpec `json:"classes,omitempty"`
+	Routing *RoutingSpec `json:"routing,omitempty"`
+	Hedge   *HedgeSpec   `json:"hedge,omitempty"`
 	// SLOP99Ms is the hourly p99 latency SLO scored next to revenue.
 	// Default 250.
 	SLOP99Ms float64 `json:"sloP99Ms,omitempty"`
@@ -170,6 +233,22 @@ func (s *Spec) Validate() error {
 	if r.Jitter < 0 || r.Jitter > 1 {
 		return fail("retry jitter %v outside [0, 1]", r.Jitter)
 	}
+	if c := s.Classes; c != nil {
+		if c.PremiumWeight != 0 && c.PremiumWeight < 1 {
+			return fail("classes premiumWeight %v below 1", c.PremiumWeight)
+		}
+	}
+	if h := s.Hedge; h != nil {
+		if h.BudgetRatio < 0 || h.BudgetRatio > maxHedgeBudgetRatio {
+			return fail("hedge budgetRatio %v outside [0, %v]", h.BudgetRatio, maxHedgeBudgetRatio)
+		}
+		if h.DelayMultiple != 0 && h.DelayMultiple < 1 {
+			return fail("hedge delayMultiple %v below 1", h.DelayMultiple)
+		}
+		if h.PremiumDelayMultiple != 0 && h.PremiumDelayMultiple < 1 {
+			return fail("hedge premiumDelayMultiple %v below 1", h.PremiumDelayMultiple)
+		}
+	}
 	if err := s.Reqtrace.Validate(); err != nil {
 		return err
 	}
@@ -208,5 +287,25 @@ func (s *Spec) withDefaults() Spec {
 	def(&out.Retry.BackoffMaxMs, 1000)
 	def(&out.Retry.Jitter, 0.5)
 	def(&out.SLOP99Ms, 250)
+	// The pointer sub-specs are copied before defaulting so resolving an
+	// engine's spec never mutates the caller's.
+	if out.Classes != nil {
+		c := *out.Classes
+		if c.Label == "" {
+			c.Label = "edition"
+		}
+		if len(c.PremiumEditions) == 0 {
+			c.PremiumEditions = []string{"Premium/BC"}
+		}
+		def(&c.PremiumWeight, 2)
+		out.Classes = &c
+	}
+	if out.Hedge != nil {
+		h := *out.Hedge
+		def(&h.DelayMultiple, 2)
+		def(&h.PremiumDelayMultiple, 1.5)
+		def(&h.BudgetRatio, 0.02)
+		out.Hedge = &h
+	}
 	return out
 }

@@ -27,7 +27,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BENCHES='^(BenchmarkPlacement|BenchmarkGreedyPlacement|BenchmarkPlace|BenchmarkPlaceWithTopology|BenchmarkScan|BenchmarkPLBScan|BenchmarkReportLoad|BenchmarkNamingService|BenchmarkSimulatedDay|BenchmarkSimulatedDayWithFaults|BenchmarkSimulatedDayJournaled|BenchmarkSimulatedDayWithTraffic|BenchmarkSimulatedDayWithTrafficTraced|BenchmarkSimulatedDayNoTraffic|BenchmarkClockSchedule|BenchmarkClockCancel)$'
+BENCHES='^(BenchmarkPlacement|BenchmarkGreedyPlacement|BenchmarkPlace|BenchmarkPlaceWithTopology|BenchmarkScan|BenchmarkPLBScan|BenchmarkReportLoad|BenchmarkNamingService|BenchmarkSimulatedDay|BenchmarkSimulatedDayWithFaults|BenchmarkSimulatedDayJournaled|BenchmarkSimulatedDayWithTraffic|BenchmarkSimulatedDayWithTrafficTraced|BenchmarkSimulatedDayTrafficHedged|BenchmarkSimulatedDayNoTraffic|BenchmarkClockSchedule|BenchmarkClockCancel)$'
 PKGS='./internal/fabric/ ./internal/simclock/ ./internal/traffic/'
 BENCHTIME="${BENCHTIME:-2s}"
 BENCHCOUNT="${BENCHCOUNT:-3}"
